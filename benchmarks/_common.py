@@ -1,0 +1,14 @@
+"""Helpers shared by the benchmark modules."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+__all__ = ["emit"]
+
+
+def emit(results_dir: Path, name: str, text: str) -> None:
+    """Print a regenerated table and persist it under results/."""
+    print()
+    print(text)
+    (results_dir / f"{name}.txt").write_text(text + "\n")

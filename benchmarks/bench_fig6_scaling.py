@@ -1,0 +1,119 @@
+"""Figure 6 — wall-clock vs number of threads for the four matrices.
+
+Paper: wall-clock time to tolerance versus thread count (1..272) for
+sync Mult, sync Multadd (lock-write) and async Multadd (lock-write,
+local-res), omega-Jacobi smoothing.  Expected shape: Mult fastest at a
+few threads; both additive variants scale better; async Multadd fastest
+and flattest at high thread counts — the crossover is the paper's
+headline scaling result.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import MachineParams, PerfModel
+from repro.experiments import MethodSpec, cycles_to_tolerance, paper_hierarchy
+from repro.problems import build_problem
+from repro.problems.registry import table1_sizes
+from repro.solvers import Multadd, MultiplicativeMultigrid
+from repro.utils import env_float, format_table
+
+from _common import emit
+
+THREADS = (1, 2, 4, 8, 17, 34, 68, 136, 272)
+ALPHA = 0.7
+TOL = 1e-6
+TOL_BY_SET = {"mfem_elasticity": 1e-2}
+
+
+def _run_matrix(name, runs):
+    scale = env_float("REPRO_SCALE", 0.25)
+    size = table1_sizes(scale)[name]
+    p = build_problem(name, size, rhs_seed=0)
+    tol = TOL_BY_SET.get(name, TOL)
+    h = paper_hierarchy(name, p.A, aggressive_levels=2)
+    kw = {"weight": p.jacobi_weight}
+
+    # Measure required V-cycles once per method (thread-independent in
+    # the convergence model).
+    spec_sync_mult = MethodSpec("sync Mult", "mult")
+    spec_sync_ma = MethodSpec("sync Multadd", "multadd")
+    spec_async_ma = MethodSpec(
+        "async Multadd", "multadd", asynchronous=True, rescomp="local", write="lock"
+    )
+    v_mult, _ = cycles_to_tolerance(
+        spec_sync_mult, h, p.b, "jacobi", tol=tol, max_cycles=300, **kw
+    )
+    v_sma, _ = cycles_to_tolerance(
+        spec_sync_ma, h, p.b, "jacobi", tol=tol, max_cycles=300, **kw
+    )
+    v_ama, _ = cycles_to_tolerance(
+        spec_async_ma,
+        h,
+        p.b,
+        "jacobi",
+        tol=tol,
+        max_cycles=300,
+        runs=runs,
+        alpha=ALPHA,
+        **kw,
+    )
+    mult = MultiplicativeMultigrid(h, smoother="jacobi", **kw)
+    ma = Multadd(h, smoother="jacobi", **kw)
+    pm = PerfModel(MachineParams())
+    rows = []
+    for T in THREADS:
+        t_mult = pm.time_mult(mult, T, v_mult) if v_mult else float("nan")
+        t_sma = (
+            pm.time_sync_additive(ma, T, v_sma, write="lock") if v_sma else float("nan")
+        )
+        t_ama = (
+            pm.time_async(ma, T, v_ama, rescomp="local", write="lock")[0]
+            if v_ama
+            else float("nan")
+        )
+        rows.append([T, t_mult, t_sma, t_ama])
+    headers = ["threads", "sync Mult", "sync Multadd", "async Multadd"]
+    title = (
+        f"Fig 6 — {name}: {p.n} rows; V-cycles to {tol:g}: "
+        f"Mult={v_mult}, syncMA={v_sma}, asyncMA={v_ama}"
+    )
+    return format_table(headers, rows, title=title), rows
+
+
+def _check_crossover(rows):
+    finite = [r for r in rows if all(np.isfinite(v) for v in r[1:])]
+    if len(finite) < 3:
+        return
+    # At the largest thread count async Multadd must beat Mult.
+    last = finite[-1]
+    assert last[3] < last[1]
+
+
+def test_fig6_7pt(benchmark, results_dir, runs):
+    text, rows = benchmark.pedantic(lambda: _run_matrix("7pt", runs), iterations=1, rounds=1)
+    emit(results_dir, "fig6_7pt", text)
+    _check_crossover(rows)
+
+
+def test_fig6_27pt(benchmark, results_dir, runs):
+    text, rows = benchmark.pedantic(lambda: _run_matrix("27pt", runs), iterations=1, rounds=1)
+    emit(results_dir, "fig6_27pt", text)
+    _check_crossover(rows)
+
+
+def test_fig6_mfem_laplace(benchmark, results_dir, runs):
+    text, rows = benchmark.pedantic(
+        lambda: _run_matrix("mfem_laplace", runs), iterations=1, rounds=1
+    )
+    emit(results_dir, "fig6_mfem_laplace", text)
+    _check_crossover(rows)
+
+
+def test_fig6_mfem_elasticity(benchmark, results_dir, runs):
+    text, rows = benchmark.pedantic(
+        lambda: _run_matrix("mfem_elasticity", runs), iterations=1, rounds=1
+    )
+    emit(results_dir, "fig6_mfem_elasticity", text)
+    _check_crossover(rows)

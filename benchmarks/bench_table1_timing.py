@@ -1,0 +1,153 @@
+"""Table I — time / corrects / V-cycles, 4 matrices x 4 smoothers x 12 methods.
+
+Paper protocol (Section V): Criterion 2, 272 threads, tolerance 1e-9,
+V-cycle counts on a grid of 5.  Convergence (V-cycles, corrects) is
+measured with the sequential asynchronous engine; wall-clock is the
+machine model's estimate at the measured cycle count (see DESIGN.md's
+substitution table — absolute seconds are modeled, the method ordering
+is the reproduced result).
+
+The full 4x4x12 sweep is long; by default each matrix runs with its
+paper smoother weight and all twelve methods for two smoothers
+(omega-Jacobi + async GS, the paper's headline columns).  Set
+``REPRO_TABLE1_FULL=1`` for all four smoother columns.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import TABLE1_METHODS, paper_hierarchy, table1_entry
+from repro.problems import build_problem
+from repro.problems.registry import table1_sizes
+from repro.utils import env_float, env_int, format_table
+
+from _common import emit
+
+ALPHA = 0.7  # modest imbalance: realistic for one NUMA node
+NTHREADS = 272
+TOL_DEFAULT = 1e-9
+
+
+def _smoother_configs(full: bool):
+    cfgs = [("omega-Jacobi", "jacobi", {}), ("async GS", "async_gs", {"nblocks": 4, "lambda_mode": "sweep"})]
+    if full:
+        cfgs[1:1] = [
+            ("l1-Jacobi", "l1_jacobi", {}),
+            ("hybrid JGS", "hybrid_jgs", {"nblocks": 4}),
+        ]
+    return cfgs
+
+
+def _run_matrix(name, runs, tol, max_cycles=250):
+    scale = env_float("REPRO_SCALE", 0.25)
+    size = table1_sizes(scale)[name]
+    p = build_problem(name, size, rhs_seed=0)
+    # Table I: HMIS + two aggressive levels (elasticity: systems AMG,
+    # no aggressive levels — see repro.experiments.paper_hierarchy).
+    h = paper_hierarchy(name, p.A, aggressive_levels=2)
+    full = env_int("REPRO_TABLE1_FULL", 0) == 1
+    blocks = []
+    for col_label, smoother, kw in _smoother_configs(full):
+        if smoother == "jacobi":
+            kw = dict(kw, weight=p.jacobi_weight)
+        rows = []
+        for spec in TABLE1_METHODS:
+            e = table1_entry(
+                spec,
+                h,
+                p.b,
+                smoother,
+                nthreads=NTHREADS,
+                tol=tol,
+                runs=runs,
+                alpha=ALPHA,
+                max_cycles=max_cycles,
+                **kw,
+            )
+            t, c, v = e.cells()
+            rows.append([spec.label, t, c, v])
+        blocks.append((col_label, rows))
+    title = f"Table I — {name}: {p.n} rows, {p.nnz} nonzeros (tol={tol:g})"
+    parts = [title]
+    for col_label, rows in blocks:
+        parts.append(
+            format_table(
+                ["method", "time(s)", "corrects", "V-cycles"],
+                rows,
+                title=f"-- smoother: {col_label} --",
+            )
+        )
+    return "\n\n".join(parts), blocks
+
+
+def _tol(name):
+    # The paper's 1e-9 needs hundreds of cycles for the FEM sets; at
+    # benchmark scale we relax those two so the sweep stays minutes.
+    from repro.utils import env_float
+
+    base = env_float("REPRO_TABLE1_TOL", 0.0)
+    if base > 0:
+        return base
+    if name in ("7pt", "27pt"):
+        return TOL_DEFAULT
+    # Our P1-tet elasticity substitute converges far more slowly than
+    # the paper's matrices under classical AMG (no rigid-body-mode
+    # interpolation); keep its sweep bounded.
+    return 1e-2 if name == "mfem_elasticity" else 1e-6
+
+
+def _check_paper_shape(blocks):
+    """Common Table-I ordering claims, evaluated leniently.
+
+    Only the omega-Jacobi column is asserted (the paper's headline
+    comparison); the other columns are informational at benchmark
+    scale, where V-cycle ratios between smoothers fluctuate more than
+    the timing differences they would need to overcome.
+    """
+    for col_label, rows in blocks:
+        if col_label != "omega-Jacobi":
+            continue
+        by = {r[0]: r for r in rows}
+        mult = by["sync Mult"]
+        best_async_ma = by["Multadd, lock-write, local-res"]
+        # async Multadd local-res beats Mult in modeled wall-clock when
+        # both converge (the paper's headline claim at 272 threads).
+        if mult[1] is not None and best_async_ma[1] is not None:
+            assert best_async_ma[1] < mult[1]
+
+
+def test_table1_7pt(benchmark, results_dir, runs):
+    text, blocks = benchmark.pedantic(
+        lambda: _run_matrix("7pt", runs, _tol("7pt")), iterations=1, rounds=1
+    )
+    emit(results_dir, "table1_7pt", text)
+    _check_paper_shape(blocks)
+
+
+def test_table1_27pt(benchmark, results_dir, runs):
+    text, blocks = benchmark.pedantic(
+        lambda: _run_matrix("27pt", runs, _tol("27pt")), iterations=1, rounds=1
+    )
+    emit(results_dir, "table1_27pt", text)
+    _check_paper_shape(blocks)
+
+
+def test_table1_mfem_laplace(benchmark, results_dir, runs):
+    text, blocks = benchmark.pedantic(
+        lambda: _run_matrix("mfem_laplace", runs, _tol("mfem_laplace")),
+        iterations=1,
+        rounds=1,
+    )
+    emit(results_dir, "table1_mfem_laplace", text)
+    assert blocks  # table produced; divergences allowed on this set
+
+
+def test_table1_mfem_elasticity(benchmark, results_dir, runs):
+    text, blocks = benchmark.pedantic(
+        lambda: _run_matrix("mfem_elasticity", runs, _tol("mfem_elasticity"), max_cycles=300),
+        iterations=1,
+        rounds=1,
+    )
+    emit(results_dir, "table1_mfem_elasticity", text)
+    assert blocks

@@ -1,0 +1,38 @@
+"""Shared benchmark infrastructure.
+
+Each ``bench_*.py`` file regenerates one table or figure of the paper
+(see DESIGN.md section 4).  Conventions:
+
+- Problem sizes are the paper's scaled by ``REPRO_SCALE`` (default
+  0.25); ``REPRO_SCALE=1 REPRO_RUNS=20`` reproduces the paper's setup.
+- Every bench *prints* the regenerated table/series (visible with
+  ``pytest -s``) and also appends it to ``benchmarks/results/*.txt`` so
+  a captured run still leaves the artifacts behind.
+- The ``benchmark`` fixture times one representative unit of work per
+  experiment so ``pytest benchmarks/ --benchmark-only`` doubles as a
+  performance regression harness for the library itself.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def runs() -> int:
+    from repro.utils import env_int
+
+    return env_int("REPRO_RUNS", 2)
+
+
+

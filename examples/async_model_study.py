@@ -1,0 +1,87 @@
+"""Reproduce the Section-III model study interactively (Figs. 1 & 2).
+
+Sweeps the minimum update probability (semi-async) and the maximum read
+delay (full-async, both solution- and residual-based) on one problem
+and prints the resulting convergence ladders — the quickest way to see
+what "asynchronous multigrid" means operationally: staleness costs
+accuracy per cycle, never grid-size-independence.
+
+Run:  python examples/async_model_study.py [grid_length]
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+from repro import Multadd, SetupOptions, build_problem, setup_hierarchy
+from repro.core import (
+    ScheduleParams,
+    simulate_full_async_residual,
+    simulate_full_async_solution,
+    simulate_semi_async,
+)
+from repro.utils import format_table, spawn_seeds
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 12
+    runs = 3
+    p = build_problem("27pt", n, rhs_seed=0)
+    h = setup_hierarchy(p.A, SetupOptions(coarsen_type="hmis", aggressive_levels=1))
+    solver = Multadd(h, smoother="jacobi", weight=0.9)
+    sync = solver.solve(p.b, tmax=20).final_relres
+    print(f"27pt grid length {n}: {p.n} rows, {h.nlevels} levels")
+    print(f"synchronous Multadd after 20 cycles: {sync:.3e}\n")
+
+    # --- Fig 1: alpha ladder (semi-async, delta = 0) -----------------
+    rows = []
+    for alpha in (0.1, 0.3, 0.5, 0.7, 0.9):
+        vals = [
+            simulate_semi_async(
+                solver, p.b, ScheduleParams(alpha=alpha, delta=0, seed=s)
+            ).rel_residual
+            for s in spawn_seeds(int(alpha * 100), runs)
+        ]
+        rows.append([alpha, float(np.mean(vals)), float(np.mean(vals)) / sync])
+    print(
+        format_table(
+            ["alpha", "mean relres", "vs sync"],
+            rows,
+            title="semi-async (Eq. 6): update-probability ladder",
+        )
+    )
+
+    # --- Fig 2: delta ladder (full-async, alpha = 0.1) ---------------
+    rows = []
+    for delta in (0, 2, 4, 8, 16):
+        sol = [
+            simulate_full_async_solution(
+                solver, p.b, ScheduleParams(alpha=0.1, delta=delta, seed=s)
+            ).rel_residual
+            for s in spawn_seeds(1000 + delta, runs)
+        ]
+        res = [
+            simulate_full_async_residual(
+                solver, p.b, ScheduleParams(alpha=0.1, delta=delta, seed=s)
+            ).rel_residual
+            for s in spawn_seeds(2000 + delta, runs)
+        ]
+        rows.append([delta, float(np.mean(sol)), float(np.mean(res))])
+    print()
+    print(
+        format_table(
+            ["delta", "solution-based", "residual-based"],
+            rows,
+            title="full-async (Eqs. 7/10): read-delay ladder (alpha=0.1)",
+        )
+    )
+    print(
+        "\nThe paper's observation to look for: the residual-based column\n"
+        "degrades more gracefully than the solution-based one as delta grows."
+    )
+
+
+if __name__ == "__main__":
+    main()

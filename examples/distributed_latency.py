@@ -1,0 +1,68 @@
+"""Toward distributed memory: per-grid read latencies.
+
+The paper closes by arguing that the global-res approach is the natural
+distributed-memory formulation.  In distributed memory, staleness is no
+longer a uniform shared-memory bound: each grid (process) sees data
+delayed by its own network distance.  This example uses the model
+machinery's per-grid maximum read delays (``delta_by_grid``) to study
+that regime: the fine grid is local (fresh reads) while coarser grids
+live "further away" (increasingly stale reads), and vice versa.
+
+Run:  python examples/distributed_latency.py [grid_length]
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+from repro import Multadd, SetupOptions, build_problem, setup_hierarchy
+from repro.core import ScheduleParams, simulate_full_async_residual
+from repro.utils import format_table, spawn_seeds
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 12
+    runs = 3
+    p = build_problem("27pt", n, rhs_seed=0)
+    h = setup_hierarchy(p.A, SetupOptions(coarsen_type="hmis", aggressive_levels=1))
+    solver = Multadd(h, smoother="jacobi", weight=0.9)
+    ng = solver.ngrids
+    print(f"27pt grid length {n}: {p.n} rows, {ng} grids\n")
+
+    scenarios = {
+        "uniform fresh (delta=0)": np.zeros(ng, dtype=int),
+        "uniform lag (delta=2)": np.full(ng, 2),
+        "coarse grids remote": np.arange(ng),  # grid k lags by k
+        "fine grid remote": np.arange(ng)[::-1].copy(),
+    }
+    rows = []
+    for label, deltas in scenarios.items():
+        vals = []
+        for s in spawn_seeds(hash(label) % 2**31, runs):
+            res = simulate_full_async_residual(
+                solver,
+                p.b,
+                ScheduleParams(alpha=0.5, updates_per_grid=20, seed=s),
+                delta_by_grid=deltas,
+            )
+            vals.append(res.rel_residual)
+        rows.append([label, " ".join(map(str, deltas)), float(np.mean(vals))])
+
+    print(
+        format_table(
+            ["scenario", "delta per grid", "mean relres(20)"],
+            rows,
+            title="distributed-latency study (residual-based full-async)",
+        )
+    )
+    print(
+        "\nReading: staleness on the *fine* grid (which owns the strongest\n"
+        "corrections) hurts more than the same staleness on coarse grids —\n"
+        "guidance for placing grids across a distributed machine."
+    )
+
+
+if __name__ == "__main__":
+    main()

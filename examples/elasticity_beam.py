@@ -1,0 +1,91 @@
+"""Asynchronous multigrid on the hard case: multi-material elasticity.
+
+Builds the paper's ``MFEM Elasticity`` substitute — a clamped cantilever
+beam with two materials (10x stiffness contrast) discretized with P1
+tetrahedra — and shows what the paper's Table I shows: elasticity is
+where classical-AMG-based multigrid struggles (six rigid-body modes,
+classical interpolation only captures constants), asynchronous Multadd
+still converges with local-res, and global-res falls over entirely
+(the dagger rows of Table I's elasticity block).
+
+Run:  python examples/elasticity_beam.py [nx]
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+from repro import Multadd, MultiplicativeMultigrid, SetupOptions, setup_hierarchy
+from repro.core import run_async_engine
+from repro.problems import random_rhs
+from repro.problems.fem import elasticity_cantilever
+from repro.utils import format_table
+
+
+def main() -> None:
+    nx = int(sys.argv[1]) if len(sys.argv) > 1 else 12
+    section = max(2, nx // 3)
+    A, mesh, free = elasticity_cantilever(
+        nx, section, section, youngs_by_material=(1.0, 10.0), return_mesh=True
+    )
+    b = random_rhs(A.shape[0], seed=0)
+    print(
+        f"cantilever {nx}x{section}x{section}: {A.shape[0]} dofs, "
+        f"{A.nnz} nonzeros, {len(np.unique(mesh.material))} materials"
+    )
+
+    # Elasticity needs the absolute-value strength norm (off-diagonals
+    # change sign) and benefits from gentler coarsening.
+    h = setup_hierarchy(
+        A,
+        SetupOptions(coarsen_type="hmis", aggressive_levels=0, strength_norm="abs"),
+    )
+    print(h.summary())
+
+    tmax = 40
+    rows = []
+
+    mult = MultiplicativeMultigrid(h, smoother="jacobi", weight=0.5)
+    r = mult.solve(b, tmax=tmax)
+    rows.append(["sync Mult (omega-Jacobi .5)", r.final_relres, r.diverged])
+
+    madd = Multadd(h, smoother="jacobi", weight=0.5)
+    r = madd.solve(b, tmax=tmax)
+    rows.append(["sync Multadd", r.final_relres, r.diverged])
+
+    for rescomp in ("local", "global"):
+        res = run_async_engine(
+            madd,
+            b,
+            tmax=tmax,
+            rescomp=rescomp,
+            write="lock",
+            criterion="criterion2",
+            alpha=0.5,
+            seed=0,
+        )
+        rows.append([f"async Multadd ({rescomp}-res)", res.rel_residual, res.diverged])
+
+    hj = Multadd(h, smoother="hybrid_jgs", nblocks=8)
+    r = hj.solve(b, tmax=tmax)
+    rows.append(["sync Multadd (hybrid JGS)", r.final_relres, r.diverged])
+
+    print()
+    print(
+        format_table(
+            ["method", f"relres after {tmax} cycles", "diverged"],
+            rows,
+            title="Elasticity: the paper's hard test set",
+        )
+    )
+    print(
+        "\nExpected shape (Table I, elasticity block): local-res converges,\n"
+        "global-res diverges or stalls; convergence is much slower than on\n"
+        "the Laplace sets at the same cycle count."
+    )
+
+
+if __name__ == "__main__":
+    main()

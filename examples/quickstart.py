@@ -1,0 +1,69 @@
+"""Quickstart: solve a 3-D Poisson problem with asynchronous Multadd.
+
+Builds the paper's 7pt test matrix, sets up an AMG hierarchy with HMIS
+coarsening and one aggressive level (the paper's convergence-figure
+configuration), and compares three ways of running multigrid:
+
+1. classical multiplicative V(1,1)-cycles (``Mult``),
+2. synchronous additive Multadd (mathematically equivalent to a
+   symmetric V(1,1)-cycle), and
+3. *asynchronous* Multadd via the sequential Algorithm-5 engine
+   (local-res, lock-write — the paper's best-converging variant).
+
+Run:  python examples/quickstart.py [grid_length]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import Multadd, MultiplicativeMultigrid, SetupOptions, build_problem, setup_hierarchy
+from repro.core import run_async_engine
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 16
+    print(f"== building 7pt Laplacian, grid length {n} ({n**3} rows) ==")
+    problem = build_problem("7pt", n, rhs_seed=0)
+
+    print("== AMG setup: HMIS coarsening, 1 aggressive level ==")
+    hierarchy = setup_hierarchy(
+        problem.A,
+        SetupOptions(coarsen_type="hmis", aggressive_levels=1),
+    )
+    print(hierarchy.summary())
+
+    tmax = 20
+
+    mult = MultiplicativeMultigrid(hierarchy, smoother="jacobi", weight=0.9)
+    res_mult = mult.solve(problem.b, tmax=tmax)
+    print(f"\nsync Mult      : relres after {tmax} cycles = {res_mult.final_relres:.3e}")
+
+    madd = Multadd(hierarchy, smoother="jacobi", weight=0.9)
+    res_madd = madd.solve(problem.b, tmax=tmax)
+    print(f"sync Multadd   : relres after {tmax} cycles = {res_madd.final_relres:.3e}")
+
+    res_async = run_async_engine(
+        madd,
+        problem.b,
+        tmax=tmax,
+        rescomp="local",
+        write="lock",
+        criterion="criterion2",
+        alpha=0.5,  # grids run at speeds U[0.5, 1] relative to each other
+        seed=0,
+    )
+    print(
+        f"async Multadd  : relres after {tmax} V-cycle-equivalents = "
+        f"{res_async.rel_residual:.3e} "
+        f"(mean corrections per grid: {res_async.corrects:.1f})"
+    )
+    print(
+        "\nNote how asynchronous execution pays a small convergence premium\n"
+        "(extra corrections) in exchange for removing every global barrier —\n"
+        "the paper's Table I shows that trade winning above ~16 threads."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+"""Residual-vs-wall-clock curves from real threaded runs.
+
+The paper measures "wall-clock time to tolerance" by running each
+method for increasing cycle counts and timestamping the residual.  Our
+threaded executor can do better: a monitor thread samples the true
+relative residual while the asynchronous workers run, producing a
+continuous residual-vs-time curve in one run — rendered here as an
+ASCII semilog plot, with the per-process activity timeline of the
+distributed simulator alongside (no aligned columns = no barriers:
+you can *see* the asynchrony).
+
+Run:  python examples/residual_vs_time.py [grid_length]
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+from repro import Multadd, SetupOptions, build_problem, setup_hierarchy
+from repro.core import run_threaded
+from repro.core.perfmodel import MachineParams
+from repro.distributed import simulate_distributed
+from repro.utils import ascii_semilogy, ascii_timeline
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 14
+    p = build_problem("7pt", n, rhs_seed=0)
+    h = setup_hierarchy(p.A, SetupOptions(coarsen_type="hmis", aggressive_levels=1))
+    ma = Multadd(h, smoother="jacobi", weight=0.9)
+    print(f"7pt grid length {n}: {p.n} rows, {h.nlevels} grids\n")
+
+    # --- threaded run with the residual monitor ----------------------
+    curves = {}
+    for rescomp in ("local", "global"):
+        res = run_threaded(
+            ma,
+            p.b,
+            tmax=60,
+            rescomp=rescomp,
+            write="lock",
+            criterion="criterion2",
+            monitor_interval=0.001,
+        )
+        rels = [r for _, r in res.residual_samples]
+        if rels:
+            curves[f"{rescomp}-res"] = rels
+        print(
+            f"threaded {rescomp}-res: final relres {res.rel_residual:.3e} "
+            f"in {res.wall_time * 1e3:.1f} ms (corrects {res.corrects:.1f})"
+        )
+    if all(len(v) >= 2 for v in curves.values()) and curves:
+        print()
+        print(
+            ascii_semilogy(
+                curves,
+                title="true relative residual vs wall-clock (sampled during the run)",
+            )
+        )
+
+    # --- distributed activity timeline --------------------------------
+    res = simulate_distributed(
+        ma,
+        p.b,
+        tmax=6,
+        strategy="global",
+        machine=MachineParams(flop_rate=2e8, jitter=0.4, seed=1),
+        nthreads_total=h.nlevels,
+        seed=1,
+    )
+    print()
+    print(
+        ascii_timeline(
+            res.activity_trace,
+            ma.ngrids,
+            title="distributed simulation: per-grid compute intervals "
+            "(no aligned column of gaps = no barrier)",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

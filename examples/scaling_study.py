@@ -1,0 +1,81 @@
+"""Thread-scaling study (Fig. 6) on any of the paper's test sets.
+
+Measures the V-cycles each method needs (sequential convergence
+engines), then asks the machine model how long those cycles take at
+1..272 threads — printing the Mult vs sync-Multadd vs async-Multadd
+crossover that is the paper's headline scaling result.
+
+Run:  python examples/scaling_study.py [test_set] [size]
+      test_set in {7pt, 27pt, mfem_laplace, mfem_elasticity}
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import Multadd, MultiplicativeMultigrid, build_problem
+from repro.core import MachineParams, PerfModel
+from repro.experiments import MethodSpec, cycles_to_tolerance, default_hierarchy
+from repro.utils import format_table
+
+THREADS = (1, 2, 4, 8, 17, 34, 68, 136, 272)
+
+
+def main() -> None:
+    test_set = sys.argv[1] if len(sys.argv) > 1 else "27pt"
+    size = int(sys.argv[2]) if len(sys.argv) > 2 else 10
+    tol = 1e-6
+    p = build_problem(test_set, size, rhs_seed=0)
+    strength = "abs" if test_set == "mfem_elasticity" else "min"
+    h = default_hierarchy(p.A, aggressive_levels=2, strength_norm=strength)
+    kw = {"weight": p.jacobi_weight}
+    print(f"{test_set} size {size}: {p.n} rows; hierarchy {h.nlevels} levels")
+
+    v_mult, _ = cycles_to_tolerance(
+        MethodSpec("m", "mult"), h, p.b, "jacobi", tol=tol, max_cycles=400, **kw
+    )
+    v_sma, _ = cycles_to_tolerance(
+        MethodSpec("s", "multadd"), h, p.b, "jacobi", tol=tol, max_cycles=400, **kw
+    )
+    v_ama, _ = cycles_to_tolerance(
+        MethodSpec("a", "multadd", asynchronous=True),
+        h,
+        p.b,
+        "jacobi",
+        tol=tol,
+        max_cycles=400,
+        runs=2,
+        alpha=0.7,
+        **kw,
+    )
+    print(f"V-cycles to {tol:g}: Mult={v_mult}  syncMultadd={v_sma}  asyncMultadd={v_ama}\n")
+    if None in (v_mult, v_sma, v_ama):
+        print("a method failed to converge at this size; try a larger size")
+        return
+
+    mult = MultiplicativeMultigrid(h, smoother="jacobi", **kw)
+    ma = Multadd(h, smoother="jacobi", **kw)
+    pm = PerfModel(MachineParams())
+    rows = []
+    for T in THREADS:
+        rows.append(
+            [
+                T,
+                pm.time_mult(mult, T, v_mult),
+                pm.time_sync_additive(ma, T, v_sma),
+                pm.time_async(ma, T, v_ama)[0],
+            ]
+        )
+    print(
+        format_table(
+            ["threads", "sync Mult (s)", "sync Multadd (s)", "async Multadd (s)"],
+            rows,
+            title=f"modeled wall-clock to {tol:g} (KNL-class machine model)",
+        )
+    )
+    cross = next((r[0] for r in rows if r[3] < r[1]), None)
+    print(f"\nasync Multadd overtakes Mult at ~{cross} threads (paper: between 4 and 68).")
+
+
+if __name__ == "__main__":
+    main()

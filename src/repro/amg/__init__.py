@@ -1,0 +1,74 @@
+"""Algebraic multigrid setup (BoomerAMG substitute).
+
+The paper generates its prolongation and coarse-grid matrices with
+BoomerAMG using HMIS coarsening (with 0/1/2 aggressive levels) and
+classical modified interpolation.  This package implements the same
+setup pipeline from scratch:
+
+- :mod:`repro.amg.strength`   — classical strength of connection.
+- :mod:`repro.amg.coarsen`    — Ruge-Stueben, PMIS and HMIS C/F splits.
+- :mod:`repro.amg.aggressive` — aggressive (distance-2) coarsening.
+- :mod:`repro.amg.interp`     — direct, classical-modified and
+  multipass interpolation, plus truncation.
+- :mod:`repro.amg.galerkin`   — the RAP triple product.
+- :mod:`repro.amg.hierarchy`  — the level/hierarchy driver.
+- :mod:`repro.amg.smoothed_interp` — the Multadd smoothed interpolants
+  ``P_bar = G P``.
+"""
+
+from .strength import classical_strength, strength_transpose_counts
+from .coarsen import (
+    CPOINT,
+    FPOINT,
+    UNDECIDED,
+    hmis_coarsening,
+    pmis_coarsening,
+    rs_coarsening,
+    rs_first_pass,
+    validate_cf_splitting,
+)
+from .aggressive import aggressive_coarsening, second_pass_strength
+from .interp import (
+    classical_interpolation,
+    direct_interpolation,
+    multipass_interpolation,
+    truncate_interpolation,
+)
+from .galerkin import galerkin_product
+from .hierarchy import AMGLevel, Hierarchy, SetupOptions, setup_hierarchy
+from .smoothed_interp import smoothed_interpolants
+from .aggregation import (
+    rigid_body_modes,
+    sa_strength,
+    setup_sa_hierarchy,
+    standard_aggregation,
+)
+
+__all__ = [
+    "classical_strength",
+    "strength_transpose_counts",
+    "CPOINT",
+    "FPOINT",
+    "UNDECIDED",
+    "rs_first_pass",
+    "rs_coarsening",
+    "pmis_coarsening",
+    "hmis_coarsening",
+    "validate_cf_splitting",
+    "aggressive_coarsening",
+    "second_pass_strength",
+    "direct_interpolation",
+    "classical_interpolation",
+    "multipass_interpolation",
+    "truncate_interpolation",
+    "galerkin_product",
+    "AMGLevel",
+    "Hierarchy",
+    "SetupOptions",
+    "setup_hierarchy",
+    "smoothed_interpolants",
+    "rigid_body_modes",
+    "sa_strength",
+    "setup_sa_hierarchy",
+    "standard_aggregation",
+]

@@ -1,0 +1,94 @@
+"""Aggressive (distance-2) coarsening.
+
+BoomerAMG's "aggressive levels" coarsen a level *twice*: a first C/F
+split is computed, then the C-points are coarsened again using a
+*second-pass strength* graph in which two C-points are strongly
+connected when they are linked by at least ``npaths`` paths of length
+one or two in the original strength graph (the A1/A2 schemes of
+De Sterck, Yang & Heys).  Only C-points surviving both passes remain C.
+
+The paper uses HMIS with one aggressive level for the convergence
+figures and two aggressive levels for Table I; multipass interpolation
+(see :mod:`repro.amg.interp`) is required on aggressive levels because
+F-points may then have no distance-1 C-neighbour.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..linalg import as_csr
+from .coarsen import CPOINT, FPOINT, hmis_coarsening, pmis_coarsening
+
+__all__ = ["second_pass_strength", "aggressive_coarsening"]
+
+
+def second_pass_strength(
+    S: sp.csr_matrix, splitting: np.ndarray, npaths: int = 1
+) -> sp.csr_matrix:
+    """Strength graph among C-points via <=2-step paths in ``S``.
+
+    C-points ``i != j`` are strongly connected when the number of paths
+    ``i -> j`` plus ``i -> k -> j`` (any intermediate ``k``) in the
+    strength graph is at least ``npaths`` (``npaths = 1`` is scheme A1,
+    ``npaths = 2`` is A2).
+
+    Returns the path-count graph restricted to C-rows/C-columns, in the
+    C-point (compressed) numbering.
+    """
+    if npaths < 1:
+        raise ValueError("npaths must be >= 1")
+    S = as_csr(S)
+    cmask = np.asarray(splitting) == CPOINT
+    cpts = np.flatnonzero(cmask)
+    # Path counts: S + S@S counts 1- and 2-step directed paths.
+    S2 = (S + S @ S).tocsr()
+    Scc = S2[cpts][:, cpts].tocsr()
+    Scc.setdiag(0.0)
+    Scc.eliminate_zeros()
+    Scc.data = (Scc.data >= npaths).astype(np.float64)
+    Scc.eliminate_zeros()
+    return as_csr(Scc)
+
+
+def aggressive_coarsening(
+    S: sp.csr_matrix,
+    coarsener: str = "hmis",
+    npaths: int = 1,
+    seed: int = 0,
+    nparts: int = 8,
+) -> np.ndarray:
+    """Two-stage aggressive coarsening.
+
+    Parameters
+    ----------
+    S:
+        Strength matrix of the level being coarsened.
+    coarsener:
+        ``"hmis"`` or ``"pmis"`` — used for both stages.
+    npaths:
+        Path-count threshold of the second-pass strength (1 = A1).
+
+    Returns
+    -------
+    int8 splitting on the original point set where C means "C-point of
+    the *second* (aggressive) pass".
+    """
+    if coarsener == "hmis":
+        first = hmis_coarsening(S, nparts=nparts, seed=seed)
+    elif coarsener == "pmis":
+        first = pmis_coarsening(S, seed=seed)
+    else:
+        raise ValueError(f"unknown coarsener {coarsener!r}")
+    cpts = np.flatnonzero(first == CPOINT)
+    if cpts.size <= 1:
+        return first
+    Scc = second_pass_strength(S, first, npaths=npaths)
+    if coarsener == "hmis":
+        second = hmis_coarsening(Scc, nparts=nparts, seed=seed + 1)
+    else:
+        second = pmis_coarsening(Scc, seed=seed + 1)
+    out = np.full(S.shape[0], FPOINT, dtype=np.int8)
+    out[cpts[second == CPOINT]] = CPOINT
+    return out

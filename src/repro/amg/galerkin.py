@@ -1,0 +1,35 @@
+"""Galerkin coarse-grid operators.
+
+The paper (Section II.A) defines ``A_{k+1} = (P^k_{k+1})^T A_k
+P^k_{k+1}`` with the restriction chosen as the transpose of the
+interpolation — the variational (Galerkin) construction, which
+preserves symmetry and positive-definiteness down the hierarchy.
+"""
+
+from __future__ import annotations
+
+import scipy.sparse as sp
+
+from ..linalg import as_csr
+
+__all__ = ["galerkin_product"]
+
+
+def galerkin_product(
+    A: sp.csr_matrix, P: sp.csr_matrix, symmetrize: bool = True
+) -> sp.csr_matrix:
+    """Compute ``P^T A P``.
+
+    ``symmetrize`` averages with the transpose to scrub the tiny
+    floating-point asymmetry the sparse triple product introduces —
+    important because smoother theory (and our SPD assertions) rely on
+    exact symmetry.
+    """
+    A = as_csr(A)
+    P = as_csr(P)
+    if A.shape[1] != P.shape[0]:
+        raise ValueError(f"shape mismatch: A {A.shape} vs P {P.shape}")
+    Ac = (P.T @ A @ P).tocsr()
+    if symmetrize:
+        Ac = (Ac + Ac.T) * 0.5
+    return as_csr(Ac)

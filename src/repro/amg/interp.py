@@ -1,0 +1,368 @@
+"""Interpolation (prolongation) operators.
+
+Three interpolation schemes cover what the paper's BoomerAMG
+configurations use:
+
+- :func:`direct_interpolation` — the simple one-point-distance formula;
+  the building block of multipass.
+- :func:`classical_interpolation` — classical Ruge-Stueben
+  interpolation in its *modified* form (BoomerAMG ``interp_type 0``):
+  strong F-F connections are distributed through common C-points, with
+  sign-aware weights, and strong F-neighbours sharing *no* common
+  C-point are lumped into the diagonal instead of being dropped.
+- :func:`multipass_interpolation` — for aggressive-coarsening levels,
+  where F-points can be arbitrarily far from any C-point: interpolation
+  is propagated outward from the C-points in passes.
+
+All functions take the matrix ``A``, the strength matrix ``S`` and an
+int8 C/F splitting and return ``P`` of shape ``(n, nc)`` whose C-rows
+are identity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..linalg import as_csr
+from .coarsen import CPOINT, FPOINT
+
+__all__ = [
+    "direct_interpolation",
+    "classical_interpolation",
+    "multipass_interpolation",
+    "truncate_interpolation",
+]
+
+
+def _coarse_map(splitting: np.ndarray) -> np.ndarray:
+    """Map fine index -> coarse index for C-points (-1 for F-points)."""
+    cmap = -np.ones(splitting.shape[0], dtype=np.int64)
+    cpts = np.flatnonzero(splitting == CPOINT)
+    cmap[cpts] = np.arange(cpts.size)
+    return cmap
+
+
+def _row(M: sp.csr_matrix, i: int):
+    lo, hi = M.indptr[i], M.indptr[i + 1]
+    return M.indices[lo:hi], M.data[lo:hi]
+
+
+def _strong_set(S: sp.csr_matrix, i: int) -> np.ndarray:
+    return S.indices[S.indptr[i] : S.indptr[i + 1]]
+
+
+def direct_interpolation(
+    A: sp.csr_matrix, S: sp.csr_matrix, splitting: np.ndarray
+) -> sp.csr_matrix:
+    """Direct interpolation with separate positive/negative scaling.
+
+    For an F-point ``i`` with strong C-set ``C_i``::
+
+        w_ij = -alpha_i * a_ij / a~_ii   (a_ij < 0)
+        w_ij = -beta_i  * a_ij / a~_ii   (a_ij > 0)
+
+    where ``alpha_i`` (resp. ``beta_i``) is the ratio of the full
+    negative (positive) off-diagonal row sum to the negative (positive)
+    sum over ``C_i``; when the row has positive off-diagonals but none
+    of them is a strong C connection, the positive sum is lumped into
+    the diagonal ``a~_ii`` instead.
+
+    F-points with an empty strong C-set get a zero row (their error is
+    handled purely by smoothing); aggressive coarsening produces such
+    rows by design, and multipass interpolation fills them in.
+    """
+    A = as_csr(A)
+    S = as_csr(S)
+    splitting = np.asarray(splitting, dtype=np.int8)
+    n = A.shape[0]
+    cmap = _coarse_map(splitting)
+    nc = int((splitting == CPOINT).sum())
+
+    rows_out, cols_out, vals_out = [], [], []
+    for i in range(n):
+        if splitting[i] == CPOINT:
+            rows_out.append(i)
+            cols_out.append(cmap[i])
+            vals_out.append(1.0)
+            continue
+        cols, vals = _row(A, i)
+        mask_off = cols != i
+        diag = float(vals[~mask_off][0]) if (~mask_off).any() else 0.0
+        if diag == 0.0:
+            raise ValueError(f"zero diagonal at row {i}")
+        strong = _strong_set(S, i)
+        strong_c = strong[splitting[strong] == CPOINT]
+        if strong_c.size == 0:
+            continue  # zero row
+        sc_set = set(int(c) for c in strong_c)
+        off_cols = cols[mask_off]
+        off_vals = vals[mask_off]
+        in_c = np.fromiter((int(c) in sc_set for c in off_cols), bool, off_cols.size)
+
+        neg = off_vals < 0
+        pos = off_vals > 0
+        sum_neg_all = off_vals[neg].sum()
+        sum_pos_all = off_vals[pos].sum()
+        sum_neg_c = off_vals[neg & in_c].sum()
+        sum_pos_c = off_vals[pos & in_c].sum()
+
+        dtilde = diag
+        alpha = sum_neg_all / sum_neg_c if sum_neg_c != 0.0 else 0.0
+        if sum_pos_c != 0.0:
+            beta = sum_pos_all / sum_pos_c
+        else:
+            beta = 0.0
+            dtilde += sum_pos_all  # lump unmatched positive couplings
+        if sum_neg_c == 0.0:
+            dtilde += sum_neg_all
+
+        sel = in_c & (neg | pos)
+        w = np.where(off_vals[sel] < 0, alpha, beta) * off_vals[sel] / (-dtilde)
+        keep = w != 0.0
+        tgt = off_cols[sel][keep]
+        rows_out.extend([i] * int(keep.sum()))
+        cols_out.extend(cmap[tgt].tolist())
+        vals_out.extend(w[keep].tolist())
+
+    P = sp.csr_matrix(
+        (np.array(vals_out), (np.array(rows_out, dtype=np.int64), np.array(cols_out, dtype=np.int64))),
+        shape=(n, nc),
+    )
+    return as_csr(P)
+
+
+def classical_interpolation(
+    A: sp.csr_matrix, S: sp.csr_matrix, splitting: np.ndarray
+) -> sp.csr_matrix:
+    """Classical *modified* Ruge-Stueben interpolation.
+
+    For F-point ``i`` with strong C-set ``C_i``, strong F-set ``F_i``
+    and weak neighbours ``W_i``::
+
+        w_ij = - ( a_ij + sum_{m in F_i} a_im * a~_mj / d_m ) / d_i
+        d_m  = sum_{k in C_i} a~_mk
+        d_i  = a_ii + sum_{n in W_i} a_in + sum_{m in F_i, d_m = 0} a_im
+
+    where ``a~_mk`` keeps only entries whose sign is opposite to the
+    diagonal ``a_mm`` (the standard sign filter), and the last sum is
+    the *modification*: strong F-neighbours with no common C-point are
+    lumped into the diagonal rather than dropped, which keeps row sums
+    correct for near-null-space constants.
+    """
+    A = as_csr(A)
+    S = as_csr(S)
+    splitting = np.asarray(splitting, dtype=np.int8)
+    n = A.shape[0]
+    cmap = _coarse_map(splitting)
+    nc = int((splitting == CPOINT).sum())
+    diag_all = A.diagonal()
+
+    rows_out, cols_out, vals_out = [], [], []
+    for i in range(n):
+        if splitting[i] == CPOINT:
+            rows_out.append(i)
+            cols_out.append(cmap[i])
+            vals_out.append(1.0)
+            continue
+        cols, vals = _row(A, i)
+        strong = set(int(s) for s in _strong_set(S, i))
+        c_i = [int(c) for c in _strong_set(S, i) if splitting[c] == CPOINT]
+        if not c_i:
+            continue  # zero row; multipass handles aggressive levels
+        c_set = set(c_i)
+        w_acc = {c: 0.0 for c in c_i}
+        d_i = 0.0
+        for col, a_ij in zip(cols, vals):
+            col = int(col)
+            if col == i:
+                d_i += a_ij
+            elif col in c_set:
+                w_acc[col] += a_ij
+            elif col in strong and splitting[col] == FPOINT:
+                # Distribute a_im over the common C-points of m and i.
+                mcols, mvals = _row(A, col)
+                sign = -1.0 if diag_all[col] > 0 else 1.0
+                d_m = 0.0
+                shares = []
+                for mc, a_mk in zip(mcols, mvals):
+                    mc = int(mc)
+                    if mc in c_set and a_mk * sign > 0:
+                        d_m += a_mk
+                        shares.append((mc, a_mk))
+                if d_m != 0.0:
+                    for mc, a_mk in shares:
+                        w_acc[mc] += a_ij * a_mk / d_m
+                else:
+                    d_i += a_ij  # modification: lump into diagonal
+            else:
+                d_i += a_ij  # weak connection
+        if abs(d_i) < 1e-10 * abs(diag_all[i]):
+            # Pathological cancellation (mixed-sign rows, e.g.
+            # elasticity): retreat to the unlumped diagonal, which
+            # keeps the row bounded at the cost of exact constants —
+            # the same guard BoomerAMG applies.
+            d_i = float(diag_all[i])
+        for c in c_i:
+            w = -w_acc[c] / d_i
+            if w != 0.0:
+                rows_out.append(i)
+                cols_out.append(cmap[c])
+                vals_out.append(w)
+
+    P = sp.csr_matrix(
+        (np.array(vals_out), (np.array(rows_out, dtype=np.int64), np.array(cols_out, dtype=np.int64))),
+        shape=(n, nc),
+    )
+    return as_csr(P)
+
+
+def multipass_interpolation(
+    A: sp.csr_matrix, S: sp.csr_matrix, splitting: np.ndarray
+) -> sp.csr_matrix:
+    """Multipass interpolation for aggressive coarsening.
+
+    Pass 1 applies :func:`direct_interpolation` to F-points that have a
+    strong C-neighbour.  Each later pass interpolates the remaining
+    F-points through strong neighbours interpolated in earlier passes::
+
+        row_i = -(alpha_i / a_ii) * sum_{m} a_im * row_m
+
+    with ``alpha_i`` the ratio of the full off-diagonal row sum to the
+    sum over the used neighbours ``m`` (so constants are preserved).
+    Stops when every F-point is covered or no progress is possible
+    (any leftovers keep zero rows).
+    """
+    A = as_csr(A)
+    S = as_csr(S)
+    splitting = np.asarray(splitting, dtype=np.int8)
+    n = A.shape[0]
+    cmap = _coarse_map(splitting)
+    nc = int((splitting == CPOINT).sum())
+
+    # Dense-ish dict-of-rows accumulator keyed by fine row.
+    P_rows: dict[int, dict[int, float]] = {}
+    done = np.zeros(n, dtype=bool)
+    for i in np.flatnonzero(splitting == CPOINT):
+        P_rows[int(i)] = {int(cmap[i]): 1.0}
+        done[i] = True
+
+    # Pass 1: direct interpolation where possible.
+    for i in range(n):
+        if done[i]:
+            continue
+        strong = _strong_set(S, i)
+        strong_c = strong[splitting[strong] == CPOINT]
+        if strong_c.size == 0:
+            continue
+        cols, vals = _row(A, i)
+        diag = float(A[i, i])
+        sc_set = set(int(c) for c in strong_c)
+        num = {}
+        sum_all = 0.0
+        sum_c = 0.0
+        for col, a in zip(cols, vals):
+            col = int(col)
+            if col == i:
+                continue
+            sum_all += a
+            if col in sc_set:
+                sum_c += a
+                num[col] = num.get(col, 0.0) + a
+        if sum_c == 0.0 or diag == 0.0:
+            continue
+        alpha = sum_all / sum_c
+        P_rows[i] = {
+            int(cmap[c]): -alpha * a / diag for c, a in num.items() if a != 0.0
+        }
+        done[i] = True
+
+    # Later passes: propagate through interpolated strong neighbours.
+    progress = True
+    while progress and not done.all():
+        progress = False
+        newly = []
+        for i in np.flatnonzero(~done):
+            strong = _strong_set(S, i)
+            used = [int(m) for m in strong if done[m]]
+            if not used:
+                continue
+            cols, vals = _row(A, i)
+            diag = 0.0
+            sum_all = 0.0
+            sum_used = 0.0
+            coeff = {}
+            used_set = set(used)
+            for col, a in zip(cols, vals):
+                col = int(col)
+                if col == i:
+                    diag = a
+                    continue
+                sum_all += a
+                if col in used_set:
+                    sum_used += a
+                    coeff[col] = coeff.get(col, 0.0) + a
+            if diag == 0.0 or sum_used == 0.0:
+                continue
+            alpha = sum_all / sum_used
+            acc: dict[int, float] = {}
+            for m, a_im in coeff.items():
+                scale = -alpha * a_im / diag
+                for c, w in P_rows[m].items():
+                    acc[c] = acc.get(c, 0.0) + scale * w
+            newly.append((i, acc))
+        for i, acc in newly:
+            P_rows[i] = acc
+            done[i] = True
+            progress = True
+
+    rows_out, cols_out, vals_out = [], [], []
+    for i, row in P_rows.items():
+        for c, w in row.items():
+            if w != 0.0:
+                rows_out.append(i)
+                cols_out.append(c)
+                vals_out.append(w)
+    P = sp.csr_matrix(
+        (np.array(vals_out), (np.array(rows_out, dtype=np.int64), np.array(cols_out, dtype=np.int64))),
+        shape=(n, nc),
+    )
+    return as_csr(P)
+
+
+def truncate_interpolation(
+    P: sp.csr_matrix, trunc_factor: float = 0.0, max_per_row: int = 0
+) -> sp.csr_matrix:
+    """Truncate small interpolation weights, preserving row sums.
+
+    Entries with ``|w| < trunc_factor * max_row|w|`` are dropped (and
+    optionally only the ``max_per_row`` largest kept); surviving
+    entries are rescaled so each row keeps its original sum — the
+    standard BoomerAMG truncation that preserves interpolation of
+    constants.
+    """
+    if trunc_factor == 0.0 and max_per_row == 0:
+        return as_csr(P)
+    if not 0.0 <= trunc_factor < 1.0:
+        raise ValueError("trunc_factor must be in [0, 1)")
+    P = as_csr(P).tolil()
+    for i in range(P.shape[0]):
+        row = np.array(P.data[i], dtype=np.float64)
+        cols = np.array(P.rows[i], dtype=np.int64)
+        if row.size == 0:
+            continue
+        absr = np.abs(row)
+        keep = absr >= trunc_factor * absr.max()
+        if max_per_row and keep.sum() > max_per_row:
+            order = np.argsort(-absr)
+            sel = np.zeros(row.size, dtype=bool)
+            sel[order[:max_per_row]] = True
+            keep &= sel
+            if not keep.any():
+                keep[order[0]] = True
+        old_sum = row.sum()
+        new_sum = row[keep].sum()
+        scale = old_sum / new_sum if new_sum != 0.0 else 1.0
+        P.rows[i] = cols[keep].tolist()
+        P.data[i] = (row[keep] * scale).tolist()
+    return as_csr(P.tocsr())

@@ -1,0 +1,239 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands
+--------
+``setup``   Build a hierarchy for a test problem, print its summary.
+``solve``   Run one solver (sync or async) on a test problem.
+``models``  Run the Section-III asynchronous-model simulators.
+``table1``  Produce one matrix's Table-I block.
+
+Examples
+--------
+::
+
+    python -m repro setup --set 27pt --size 12 --aggressive 1
+    python -m repro solve --set 7pt --size 12 --method multadd --run-async \\
+        --rescomp local --write lock --tmax 20 --alpha 0.5
+    python -m repro models --set 27pt --size 10 --model full_res --delta 4
+    python -m repro table1 --set 7pt --size 10 --smoother jacobi --tol 1e-6
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from .amg import SetupOptions, setup_hierarchy
+from .core import (
+    ScheduleParams,
+    run_async_engine,
+    simulate_full_async_residual,
+    simulate_full_async_solution,
+    simulate_semi_async,
+)
+from .experiments import TABLE1_METHODS, paper_hierarchy, table1_entry
+from .problems import TEST_SETS, build_problem
+from .solvers import AFACx, BPX, Multadd, MultiplicativeMultigrid
+from .utils import format_table
+
+__all__ = ["main"]
+
+
+def _add_problem_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--set", dest="test_set", choices=TEST_SETS, default="7pt")
+    p.add_argument("--size", type=int, default=12)
+    p.add_argument("--rhs-seed", type=int, default=0)
+
+
+def _add_setup_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--aggressive", type=int, default=1, help="aggressive levels")
+    p.add_argument("--theta", type=float, default=0.25)
+    p.add_argument(
+        "--coarsen", choices=("hmis", "pmis", "rs"), default="hmis"
+    )
+
+
+def _build(args) -> tuple:
+    problem = build_problem(args.test_set, args.size, rhs_seed=args.rhs_seed)
+    if args.test_set == "mfem_elasticity":
+        hierarchy = paper_hierarchy("mfem_elasticity", problem.A)
+    else:
+        hierarchy = setup_hierarchy(
+            problem.A,
+            SetupOptions(
+                coarsen_type=getattr(args, "coarsen", "hmis"),
+                aggressive_levels=getattr(args, "aggressive", 1),
+                theta=getattr(args, "theta", 0.25),
+            ),
+        )
+    return problem, hierarchy
+
+
+def _cmd_setup(args) -> int:
+    problem, hierarchy = _build(args)
+    print(f"{args.test_set} size {args.size}: {problem.n} rows, {problem.nnz} nnz")
+    print(hierarchy.summary())
+    return 0
+
+
+def _make_solver(args, hierarchy):
+    kw = {}
+    if args.smoother == "jacobi":
+        kw["weight"] = args.weight
+    elif args.smoother in ("hybrid_jgs", "async_gs"):
+        kw["nblocks"] = args.nblocks
+    if args.method == "mult":
+        return MultiplicativeMultigrid(hierarchy, smoother=args.smoother, **kw)
+    if args.method == "multadd":
+        return Multadd(hierarchy, smoother=args.smoother, **kw)
+    if args.method == "afacx":
+        return AFACx(hierarchy, smoother=args.smoother, **kw)
+    return BPX(hierarchy, smoother=args.smoother, **kw)
+
+
+def _cmd_solve(args) -> int:
+    problem, hierarchy = _build(args)
+    solver = _make_solver(args, hierarchy)
+    if args.run_async:
+        if args.method == "mult":
+            print("error: the multiplicative method cannot run asynchronously", file=sys.stderr)
+            return 2
+        res = run_async_engine(
+            solver,
+            problem.b,
+            tmax=args.tmax,
+            rescomp=args.rescomp,
+            write=args.write,
+            criterion=args.criterion,
+            alpha=args.alpha,
+            seed=args.seed,
+        )
+        print(
+            f"async {args.method} ({args.rescomp}-res, {args.write}-write, "
+            f"{args.criterion}): relres = {res.rel_residual:.6e}, "
+            f"corrects = {res.corrects:.1f}, diverged = {res.diverged}"
+        )
+    else:
+        res = solver.solve(problem.b, tmax=args.tmax)
+        print(
+            f"sync {args.method}: relres after {res.cycles} cycles = "
+            f"{res.final_relres:.6e}, diverged = {res.diverged}"
+        )
+    return 0
+
+
+def _cmd_models(args) -> int:
+    problem, hierarchy = _build(args)
+    solver = Multadd(hierarchy, smoother="jacobi", weight=problem.jacobi_weight)
+    params = ScheduleParams(
+        alpha=args.alpha, delta=args.delta, updates_per_grid=args.tmax, seed=args.seed
+    )
+    sim = {
+        "semi": simulate_semi_async,
+        "full_sol": simulate_full_async_solution,
+        "full_res": simulate_full_async_residual,
+    }[args.model]
+    res = sim(solver, problem.b, params)
+    print(
+        f"{args.model} model: relres = {res.rel_residual:.6e} after "
+        f"{res.instants} instants; p_k = "
+        + ", ".join(f"{v:.2f}" for v in res.update_probabilities)
+    )
+    return 0
+
+
+def _cmd_table1(args) -> int:
+    problem, hierarchy = _build(args)
+    kw = {"weight": problem.jacobi_weight} if args.smoother == "jacobi" else {}
+    if args.smoother in ("hybrid_jgs", "async_gs"):
+        kw["nblocks"] = args.nblocks
+    rows = []
+    for spec in TABLE1_METHODS:
+        e = table1_entry(
+            spec,
+            hierarchy,
+            problem.b,
+            args.smoother,
+            nthreads=args.threads,
+            tol=args.tol,
+            runs=args.runs,
+            alpha=args.alpha,
+            max_cycles=args.max_cycles,
+            **kw,
+        )
+        t, c, v = e.cells()
+        rows.append([spec.label, t, c, v])
+    print(
+        format_table(
+            ["method", "time(s)", "corrects", "V-cycles"],
+            rows,
+            title=(
+                f"Table I block — {args.test_set} ({problem.n} rows), "
+                f"smoother {args.smoother}, tol {args.tol:g}"
+            ),
+        )
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Asynchronous multigrid reproduction CLI"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("setup", help="build and summarize a hierarchy")
+    _add_problem_args(p)
+    _add_setup_args(p)
+    p.set_defaults(func=_cmd_setup)
+
+    p = sub.add_parser("solve", help="run a solver")
+    _add_problem_args(p)
+    _add_setup_args(p)
+    p.add_argument("--method", choices=("mult", "multadd", "afacx", "bpx"), default="multadd")
+    p.add_argument("--smoother", default="jacobi")
+    p.add_argument("--weight", type=float, default=0.9)
+    p.add_argument("--nblocks", type=int, default=8)
+    p.add_argument("--tmax", type=int, default=20)
+    p.add_argument("--run-async", action="store_true")
+    p.add_argument("--rescomp", choices=("local", "global", "rupdate"), default="local")
+    p.add_argument("--write", choices=("lock", "atomic"), default="lock")
+    p.add_argument("--criterion", choices=("criterion1", "criterion2"), default="criterion2")
+    p.add_argument("--alpha", type=float, default=0.5)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_solve)
+
+    p = sub.add_parser("models", help="run a Section-III model simulator")
+    _add_problem_args(p)
+    _add_setup_args(p)
+    p.add_argument("--model", choices=("semi", "full_sol", "full_res"), default="semi")
+    p.add_argument("--alpha", type=float, default=0.1)
+    p.add_argument("--delta", type=int, default=0)
+    p.add_argument("--tmax", type=int, default=20)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_models)
+
+    p = sub.add_parser("table1", help="one Table-I block")
+    _add_problem_args(p)
+    _add_setup_args(p)
+    p.add_argument("--smoother", default="jacobi")
+    p.add_argument("--nblocks", type=int, default=4)
+    p.add_argument("--threads", type=int, default=272)
+    p.add_argument("--tol", type=float, default=1e-6)
+    p.add_argument("--runs", type=int, default=2)
+    p.add_argument("--alpha", type=float, default=0.7)
+    p.add_argument("--max-cycles", type=int, default=250)
+    p.set_defaults(func=_cmd_table1)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

@@ -1,0 +1,79 @@
+"""Convergence criteria for asynchronous runs (Section V).
+
+The paper deliberately never evaluates residual norms inside an
+asynchronous solve (a norm is a reduction — a synchronization).  Runs
+are stopped by correction counting:
+
+- **Criterion 1** — a grid breaks out of its loop as soon as *it* has
+  performed ``tmax`` corrections; other grids keep going until they
+  reach their own count.  Used for the model simulations and Fig. 4/5.
+- **Criterion 2** — a master checks whether *every* grid has reached
+  ``tmax`` corrections and then raises a termination flag; grids check
+  the flag after each correction, so fast grids keep correcting while
+  slow ones catch up.  Used for Table I.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+__all__ = ["Criterion1", "Criterion2"]
+
+
+class Criterion1:
+    """Per-grid local stop: grid ``k`` stops after ``tmax`` corrections."""
+
+    name = "criterion1"
+
+    def __init__(self, ngrids: int, tmax: int):
+        if tmax < 1:
+            raise ValueError("tmax must be >= 1")
+        self.ngrids = ngrids
+        self.tmax = int(tmax)
+        self.counts = np.zeros(ngrids, dtype=np.int64)
+
+    def record(self, k: int) -> None:
+        self.counts[k] += 1
+
+    def grid_done(self, k: int) -> bool:
+        return bool(self.counts[k] >= self.tmax)
+
+    def all_done(self) -> bool:
+        return bool(np.all(self.counts >= self.tmax))
+
+
+class Criterion2:
+    """Master-flag stop: everyone runs until all reached ``tmax``.
+
+    Thread-safe: the threaded executor's workers call :meth:`record`
+    and :meth:`grid_done` concurrently; the "master" role is played by
+    whichever worker's :meth:`record` observes completion (equivalent
+    to the paper's dedicated master thread, without burning a thread in
+    a GIL runtime).
+    """
+
+    name = "criterion2"
+
+    def __init__(self, ngrids: int, tmax: int):
+        if tmax < 1:
+            raise ValueError("tmax must be >= 1")
+        self.ngrids = ngrids
+        self.tmax = int(tmax)
+        self.counts = np.zeros(ngrids, dtype=np.int64)
+        self._lock = threading.Lock()
+        self._flag = False
+
+    def record(self, k: int) -> None:
+        with self._lock:
+            self.counts[k] += 1
+            if not self._flag and np.all(self.counts >= self.tmax):
+                self._flag = True
+
+    def grid_done(self, k: int) -> bool:
+        # Grids only consult the shared flag, never their own count.
+        return self._flag
+
+    def all_done(self) -> bool:
+        return self._flag

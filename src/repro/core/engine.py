@@ -1,0 +1,311 @@
+"""Sequential micro-step executor for Algorithm 5.
+
+This engine runs the paper's shared-memory asynchronous multigrid
+(Algorithm 5) *deterministically*: every grid is a coroutine whose
+yield points are exactly the grid-local synchronization boundaries of
+the algorithm (write ``x``, read ``x``, refresh/read ``r``), and a
+seeded scheduler interleaves the coroutines one micro-step at a time.
+Real threads (see :mod:`repro.core.threaded`) give true asynchrony but
+irreproducible interleavings; this engine gives the same *semantics*
+with replayable randomness, which is what the convergence benchmarks
+need (the paper averages 20 runs for the same reason).
+
+Semantics mapped from Section IV:
+
+- ``rescomp="local"`` — local-res: a grid reads the shared ``x`` and
+  recomputes its own fine-grid residual (Algorithm 5 line 13).
+- ``rescomp="global"`` — global-res: a shared residual vector is
+  refreshed piecewise; each grid's no-wait global-parfor share is the
+  block of rows its threads own, so rows owned by slow grids go stale
+  (Algorithm 5 lines 15-18) — the mechanism behind global-res's slower
+  convergence in Fig. 4/5.
+- ``rescomp="rupdate"`` — the r-Multadd variant (last bullet of the
+  Algorithm 5 discussion): the shared residual is updated incrementally
+  as ``r -= A e`` whenever a correction ``e`` is written.
+
+Write policies:
+
+- ``write="lock"`` — a grid's whole update (and a reader's whole
+  snapshot) happens in one micro-step: consistent vectors.  local-res +
+  lock is the only combination modeled by *semi*-async (Eq. 6), as the
+  paper notes; everything else is full-async.
+- ``write="atomic"`` — updates and reads are split into ``nchunks``
+  chunk micro-steps that interleave with other grids' steps: readers
+  observe partially-committed updates (element-consistent, vector-
+  inconsistent) — the full-async component mixing of Eq. 7/10.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Generator, List, Optional, Tuple
+
+import numpy as np
+
+from ..linalg import two_norm
+from .criteria import Criterion1, Criterion2
+
+__all__ = ["AsyncEngineResult", "run_async_engine"]
+
+_RESCOMP = ("local", "global", "rupdate")
+_WRITE = ("lock", "atomic")
+
+
+@dataclass
+class AsyncEngineResult:
+    """Outcome of a sequential Algorithm-5 run.
+
+    ``corrects`` follows the paper's Table-I definition: the average
+    number of corrections per grid.  ``vcycles`` is the configured
+    ``tmax`` (one "V-cycle" = one correction from every grid).
+    """
+
+    x: np.ndarray
+    rel_residual: float
+    counts: np.ndarray
+    micro_steps: int
+    speeds: np.ndarray
+    diverged: bool = False
+    residual_trace: List[float] = field(default_factory=list)
+    activity_trace: List[Tuple[int, int, int]] = field(default_factory=list)
+    """``(grid, start_microstep, end_microstep)`` spans of each
+    correction in scheduler (logical) time — render with
+    :func:`repro.utils.ascii_timeline` to see the interleaving."""
+    checkpoint_results: List[Tuple[int, float, float]] = field(default_factory=list)
+    """``(vcycles, rel_residual, corrects)`` at each requested checkpoint.
+
+    Valid with criterion 2, where a longer run passes through exactly
+    the states of shorter runs: the snapshot at ``min(counts) == c`` is
+    what a run with ``tmax = c`` would have produced."""
+
+    @property
+    def corrects(self) -> float:
+        return float(self.counts.mean())
+
+
+def _grid_coroutine(
+    solver,
+    k: int,
+    b: np.ndarray,
+    rescomp: str,
+    nchunks: int,
+    n: int,
+    rows: Tuple[int, int],
+) -> Generator:
+    """Coroutine for grid ``k``; yields (op, payload) micro-steps.
+
+    Ops understood by the scheduler:
+      ("add_x", lo, hi, values)   -- commit a chunk of the correction
+      ("add_r", lo, hi, values)   -- commit a chunk of -A e (rupdate)
+      ("read_x", lo, hi)          -- receive x[lo:hi] via gen.send
+      ("read_r", lo, hi)          -- receive r[lo:hi] via gen.send
+      ("refresh_r", lo, hi, vals) -- global-res row refresh
+      ("done_correction",)        -- bookkeeping barrier
+    """
+    bounds = np.linspace(0, n, nchunks + 1).astype(np.int64)
+    chunks = [
+        (int(bounds[i]), int(bounds[i + 1]))
+        for i in range(nchunks)
+        if bounds[i + 1] > bounds[i]
+    ]
+
+    r_local = b.copy()  # Initialize r^k = b (Algorithm 5 line 1)
+    while True:
+        e = solver.correction(k, r_local)
+        # --- write the correction to the shared iterate -------------
+        for lo, hi in chunks:
+            yield ("add_x", lo, hi, e[lo:hi])
+        if rescomp == "rupdate":
+            de = solver.A @ e
+            for lo, hi in chunks:
+                yield ("add_r", lo, hi, -de[lo:hi])
+        # --- obtain the next residual -------------------------------
+        if rescomp == "local":
+            x_local = np.empty(n)
+            for lo, hi in chunks:
+                x_local[lo:hi] = yield ("read_x", lo, hi)
+            r_local = b - solver.A @ x_local
+        elif rescomp == "global":
+            # No-wait global parfor share: refresh only our own rows
+            # of the shared residual from the current shared iterate.
+            x_local = np.empty(n)
+            for lo, hi in chunks:
+                x_local[lo:hi] = yield ("read_x", lo, hi)
+            lo_r, hi_r = rows
+            if hi_r > lo_r:
+                fresh = b[lo_r:hi_r] - _rows_matvec(solver.A, x_local, lo_r, hi_r)
+                yield ("refresh_r", lo_r, hi_r, fresh)
+            r_local = np.empty(n)
+            for lo, hi in chunks:
+                r_local[lo:hi] = yield ("read_r", lo, hi)
+        else:  # rupdate
+            r_local = np.empty(n)
+            for lo, hi in chunks:
+                r_local[lo:hi] = yield ("read_r", lo, hi)
+        yield ("done_correction",)
+
+
+def _rows_matvec(A, x: np.ndarray, lo: int, hi: int) -> np.ndarray:
+    p0, p1 = A.indptr[lo], A.indptr[hi]
+    seg = A.data[p0:p1] * x[A.indices[p0:p1]]
+    local = np.repeat(np.arange(hi - lo), np.diff(A.indptr[lo : hi + 1]))
+    return np.bincount(local, weights=seg, minlength=hi - lo)
+
+
+def run_async_engine(
+    solver,
+    b: np.ndarray,
+    tmax: int = 20,
+    rescomp: str = "local",
+    write: str = "lock",
+    criterion: str = "criterion1",
+    alpha: float = 0.1,
+    nchunks: int = 8,
+    seed: int = 0,
+    x0: Optional[np.ndarray] = None,
+    divergence_threshold: float = 1e6,
+    track_trace: bool = False,
+    checkpoints: Optional[List[int]] = None,
+) -> AsyncEngineResult:
+    """Run asynchronous additive multigrid (Algorithm 5), sequentially.
+
+    Parameters
+    ----------
+    solver:
+        An :class:`~repro.solvers.base.AdditiveMultigrid` (Multadd or
+        AFACx).
+    rescomp:
+        ``"local"``, ``"global"`` or ``"rupdate"`` (see module docs).
+    write:
+        ``"lock"`` or ``"atomic"``.
+    criterion:
+        ``"criterion1"`` or ``"criterion2"`` (Section V).
+    alpha:
+        Minimum relative speed of a grid: per-grid scheduler weights
+        are drawn from ``U[alpha, 1]`` — the engine's analogue of the
+        models' minimum update probability.
+    nchunks:
+        Chunk count for atomic-write interleaving (ignored for lock).
+    checkpoints:
+        Sorted V-cycle counts at which to snapshot ``(relres,
+        corrects)`` — requires ``criterion="criterion2"`` (grids keep
+        correcting, so a long run's prefix equals a shorter run).  Used
+        by the Table-I harness to sweep tolerance crossings in one run.
+    """
+    if checkpoints and criterion != "criterion2":
+        raise ValueError("checkpoints require criterion2 semantics")
+    if rescomp not in _RESCOMP:
+        raise ValueError(f"rescomp must be one of {_RESCOMP}")
+    if write not in _WRITE:
+        raise ValueError(f"write must be one of {_WRITE}")
+    if nchunks < 1:
+        raise ValueError("nchunks must be >= 1")
+    n = solver.n
+    ngrids = solver.ngrids
+    rng = np.random.default_rng(seed)
+    speeds = rng.uniform(alpha, 1.0, size=ngrids)
+
+    crit = (
+        Criterion1(ngrids, tmax) if criterion == "criterion1" else Criterion2(ngrids, tmax)
+    )
+
+    x = np.zeros(n) if x0 is None else np.array(x0, dtype=np.float64)
+    r = b - solver.A @ x  # shared residual (global / rupdate modes)
+
+    # Row ownership for the global-res no-wait parfor: contiguous row
+    # blocks proportional to the grids' thread shares; we use the
+    # work-proportional partition from Section IV.
+    work = solver.work_per_grid()
+    shares = np.maximum(work / work.sum(), 1e-6)
+    cuts = np.concatenate([[0.0], np.cumsum(shares) / shares.sum()])
+    row_bounds = np.round(cuts * n).astype(np.int64)
+    rows = [(int(row_bounds[k]), int(row_bounds[k + 1])) for k in range(ngrids)]
+
+    eff_chunks = 1 if write == "lock" else nchunks
+    gens = [
+        _grid_coroutine(solver, k, b, rescomp, eff_chunks, n, rows[k])
+        for k in range(ngrids)
+    ]
+    running = [True] * ngrids
+    # Prime each coroutine to its first yield; `requests[k]` always
+    # holds grid k's currently pending micro-op.
+    requests: List[Optional[tuple]] = [g.send(None) for g in gens]
+
+    nb = two_norm(b) or 1.0
+    trace: List[float] = []
+    cps = sorted(checkpoints) if checkpoints else []
+    cp_idx = 0
+    cp_results: List[Tuple[int, float, float]] = []
+    activity: List[Tuple[int, int, int]] = []
+    last_done = [0] * ngrids
+    micro = 0
+    max_micro = 50 * tmax * ngrids * (eff_chunks * 3 + 4)
+    diverged = False
+    while any(running) and not diverged:
+        alive = [k for k in range(ngrids) if running[k]]
+        if not alive:
+            break
+        w = speeds[alive]
+        k = int(rng.choice(alive, p=w / w.sum()))
+        op = requests[k]
+        g = gens[k]
+        send_val = None
+        kind = op[0]
+        if kind == "add_x":
+            _, lo, hi, vals = op
+            x[lo:hi] += vals
+        elif kind == "add_r":
+            _, lo, hi, vals = op
+            r[lo:hi] += vals
+        elif kind == "read_x":
+            _, lo, hi = op
+            send_val = x[lo:hi].copy()
+        elif kind == "read_r":
+            _, lo, hi = op
+            send_val = r[lo:hi].copy()
+        elif kind == "refresh_r":
+            _, lo, hi, vals = op
+            r[lo:hi] = vals
+        elif kind == "done_correction":
+            crit.record(k)
+            activity.append((k, last_done[k], micro))
+            last_done[k] = micro
+            if track_trace:
+                trace.append(two_norm(b - solver.A @ x) / nb)
+            while cp_idx < len(cps) and int(crit.counts.min()) >= cps[cp_idx]:
+                cp_results.append(
+                    (
+                        cps[cp_idx],
+                        float(two_norm(b - solver.A @ x) / nb),
+                        float(crit.counts.mean()),
+                    )
+                )
+                cp_idx += 1
+            if crit.grid_done(k):
+                running[k] = False
+                g.close()
+            # Divergence guard: corrections exploding means the run is
+            # lost; stop early like the paper's dagger entries.
+            xmax = float(np.abs(x).max()) if n else 0.0
+            if not np.isfinite(xmax) or xmax > divergence_threshold * max(nb, 1.0):
+                diverged = True
+        else:  # pragma: no cover - defensive
+            raise RuntimeError(f"unknown micro-op {kind!r}")
+        if running[k]:
+            requests[k] = g.send(send_val)
+        micro += 1
+        if micro > max_micro:
+            raise RuntimeError("engine exceeded micro-step budget")
+
+    rel = two_norm(b - solver.A @ x) / nb
+    return AsyncEngineResult(
+        x=x,
+        rel_residual=rel,
+        counts=crit.counts.copy(),
+        micro_steps=micro,
+        speeds=speeds,
+        diverged=diverged or not np.isfinite(rel) or rel > divergence_threshold,
+        residual_trace=trace,
+        activity_trace=activity,
+        checkpoint_results=cp_results,
+    )

@@ -1,0 +1,69 @@
+"""Ring-buffer history of iterate vectors.
+
+The asynchronous models read values from past time instants; since the
+maximum read delay is ``delta``, only the last ``delta + 1`` vectors
+are ever addressable and a fixed ring buffer suffices (storage
+``(delta + 1) x n`` — the simulation's only memory overhead).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["VectorHistory"]
+
+
+class VectorHistory:
+    """Stores vectors indexed by time instant, keeping the last ``depth``."""
+
+    def __init__(self, x0: np.ndarray, depth: int):
+        if depth < 1:
+            raise ValueError("depth must be >= 1")
+        x0 = np.asarray(x0, dtype=np.float64)
+        self.n = x0.shape[0]
+        self.depth = int(depth)
+        self._buf = np.zeros((self.depth, self.n))
+        self._buf[0] = x0
+        self.latest_instant = 0
+
+    def push(self, x: np.ndarray, instant: int) -> None:
+        """Record ``x`` as the state at ``instant`` (must advance by 1)."""
+        if instant != self.latest_instant + 1:
+            raise ValueError(
+                f"instants must be consecutive: got {instant}, "
+                f"expected {self.latest_instant + 1}"
+            )
+        self._buf[instant % self.depth] = x
+        self.latest_instant = instant
+
+    def _check(self, instant: int) -> None:
+        if instant > self.latest_instant or instant < 0:
+            raise KeyError(f"instant {instant} not recorded yet")
+        if instant <= self.latest_instant - self.depth:
+            raise KeyError(
+                f"instant {instant} evicted (depth {self.depth}, "
+                f"latest {self.latest_instant})"
+            )
+
+    def get(self, instant: int) -> np.ndarray:
+        """Consistent snapshot at ``instant`` (a copy)."""
+        self._check(instant)
+        return self._buf[instant % self.depth].copy()
+
+    def gather(self, instants: np.ndarray) -> np.ndarray:
+        """Component-wise read: ``out[i] = x^{(instants[i])}[i]``.
+
+        This is the full-async read — a vector whose components come
+        from different time instants.
+        """
+        instants = np.asarray(instants, dtype=np.int64)
+        if instants.shape != (self.n,):
+            raise ValueError("need one instant per component")
+        lo = int(instants.min())
+        self._check(lo)
+        self._check(int(instants.max()))
+        return self._buf[instants % self.depth, np.arange(self.n)]
+
+    def latest(self) -> np.ndarray:
+        """The newest recorded vector (a copy)."""
+        return self._buf[self.latest_instant % self.depth].copy()

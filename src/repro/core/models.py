@@ -1,0 +1,224 @@
+"""The asynchronous multigrid models of Section III, as simulators.
+
+Three sequential simulators, each driving an additive solver
+(:class:`~repro.solvers.base.AdditiveMultigrid`) through a random
+staleness schedule:
+
+- :func:`simulate_semi_async` — Eq. 6: every active grid reads a
+  *consistent* snapshot ``x^{(z_k(t))}`` (all components from one past
+  instant).  With consistent reads the solution-based and
+  residual-based formulations coincide (the paper notes this), so
+  there is a single semi-async simulator.
+- :func:`simulate_full_async_solution` — Eq. 7: each *component* is
+  read from its own instant ``z_ki(t)``; the correction is computed
+  from ``b - A x_mixed``.
+- :func:`simulate_full_async_residual` — Eq. 10: the same component
+  mixing applied to a maintained residual history; corrections are
+  computed directly from ``r_mixed``.
+
+In every model the iterate and residual are *updated* exactly
+(``x += sum of corrections``, ``r -= A (sum of corrections)``), so
+``r^{(t)} = b - A x^{(t)}`` holds identically; asynchrony enters only
+through what each grid *reads* — precisely the models' semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from ..linalg import two_norm
+from .history import VectorHistory
+from .schedule import ScheduleParams, StalenessSchedule
+
+__all__ = [
+    "AsyncModelResult",
+    "simulate_semi_async",
+    "simulate_full_async_solution",
+    "simulate_full_async_residual",
+]
+
+
+@dataclass
+class AsyncModelResult:
+    """Outcome of an asynchronous-model simulation.
+
+    Attributes
+    ----------
+    x:
+        Final iterate.
+    rel_residual:
+        Final ``||b - A x||_2 / ||b||_2``.
+    instants:
+        Number of time instants simulated.
+    corrections_per_grid:
+        Updates each grid performed (== ``updates_per_grid`` for all).
+    update_probabilities:
+        The sampled ``p_k``.
+    residual_trace:
+        ``||r||/||b||`` recorded at each time instant (cheap here
+        because the simulators maintain the exact residual).
+    """
+
+    x: np.ndarray
+    rel_residual: float
+    instants: int
+    corrections_per_grid: np.ndarray
+    update_probabilities: np.ndarray
+    residual_trace: List[float] = field(default_factory=list)
+
+
+def _finalize(
+    solver, x: np.ndarray, b: np.ndarray, sched: StalenessSchedule, t: int, trace
+) -> AsyncModelResult:
+    r = b - solver.A @ x
+    nb = two_norm(b) or 1.0
+    return AsyncModelResult(
+        x=x,
+        rel_residual=two_norm(r) / nb,
+        instants=t,
+        corrections_per_grid=sched.updates_done.copy(),
+        update_probabilities=sched.p.copy(),
+        residual_trace=trace,
+    )
+
+
+def _max_instants(params: ScheduleParams, sched: StalenessSchedule) -> int:
+    # Worst case: the slowest grid fires with its (possibly overridden)
+    # minimum probability; generous safety factor before declaring the
+    # schedule stuck.
+    return int(200 + 50 * params.updates_per_grid / float(sched.p.min()))
+
+
+def simulate_semi_async(
+    solver,
+    b: np.ndarray,
+    params: ScheduleParams,
+    x0: Optional[np.ndarray] = None,
+    track_trace: bool = False,
+    p_override: Optional[np.ndarray] = None,
+    delta_by_grid: Optional[np.ndarray] = None,
+) -> AsyncModelResult:
+    """Semi-asynchronous model (Eq. 6).
+
+    ``x^{(t+1)} = x^{(t)} + sum_{k in Psi(t)} B_k(x^{(z_k(t))})`` where
+    ``B_k(x) = correction(k, b - A x)``.
+    """
+    n = solver.n
+    x = np.zeros(n) if x0 is None else np.array(x0, dtype=np.float64)
+    sched = StalenessSchedule(
+        solver.ngrids, params, p_override=p_override, delta_by_grid=delta_by_grid
+    )
+    hist = VectorHistory(x, depth=sched.max_delta + 2)
+    nb = two_norm(b) or 1.0
+    trace: List[float] = []
+    t = 0
+    limit = _max_instants(params, sched)
+    while not sched.all_done:
+        if t >= limit:
+            raise RuntimeError("schedule failed to finish; alpha too small?")
+        active = sched.active_set(t)
+        total = np.zeros(n)
+        for k in active:
+            z = sched.read_instant(int(k), t)
+            x_read = hist.get(z)
+            total += solver.correction(int(k), b - solver.A @ x_read)
+            sched.record_update(int(k))
+        x = x + total
+        t += 1
+        hist.push(x, t)
+        if track_trace:
+            trace.append(two_norm(b - solver.A @ x) / nb)
+    return _finalize(solver, x, b, sched, t, trace)
+
+
+def simulate_full_async_solution(
+    solver,
+    b: np.ndarray,
+    params: ScheduleParams,
+    x0: Optional[np.ndarray] = None,
+    track_trace: bool = False,
+    p_override: Optional[np.ndarray] = None,
+    delta_by_grid: Optional[np.ndarray] = None,
+) -> AsyncModelResult:
+    """Fully asynchronous, solution-based model (Eq. 7).
+
+    Each active grid reads a component-mixed iterate
+    ``(x_1^{(z_k1)}, ..., x_n^{(z_kn)})`` and corrects from
+    ``b - A x_mixed``.
+    """
+    n = solver.n
+    x = np.zeros(n) if x0 is None else np.array(x0, dtype=np.float64)
+    sched = StalenessSchedule(
+        solver.ngrids, params, p_override=p_override, delta_by_grid=delta_by_grid
+    )
+    hist = VectorHistory(x, depth=sched.max_delta + 2)
+    nb = two_norm(b) or 1.0
+    trace: List[float] = []
+    t = 0
+    limit = _max_instants(params, sched)
+    while not sched.all_done:
+        if t >= limit:
+            raise RuntimeError("schedule failed to finish; alpha too small?")
+        active = sched.active_set(t)
+        total = np.zeros(n)
+        for k in active:
+            z = sched.read_instants(int(k), t, n)
+            x_read = hist.gather(z)
+            total += solver.correction(int(k), b - solver.A @ x_read)
+            sched.record_update(int(k))
+        x = x + total
+        t += 1
+        hist.push(x, t)
+        if track_trace:
+            trace.append(two_norm(b - solver.A @ x) / nb)
+    return _finalize(solver, x, b, sched, t, trace)
+
+
+def simulate_full_async_residual(
+    solver,
+    b: np.ndarray,
+    params: ScheduleParams,
+    x0: Optional[np.ndarray] = None,
+    track_trace: bool = False,
+    p_override: Optional[np.ndarray] = None,
+    delta_by_grid: Optional[np.ndarray] = None,
+) -> AsyncModelResult:
+    """Fully asynchronous, residual-based model (Eq. 10).
+
+    The residual itself is the shared state: grids read component-mixed
+    residuals ``(r_1^{(z_k1)}, ..., r_n^{(z_kn)})`` and the update is
+    ``r^{(t+1)} = r^{(t)} - A sum_k C_k(r_mixed)``.  The iterate is
+    co-updated with the same corrections so the reported relative
+    residual is the true ``||b - A x||/||b||``.
+    """
+    n = solver.n
+    x = np.zeros(n) if x0 is None else np.array(x0, dtype=np.float64)
+    r = b - solver.A @ x
+    sched = StalenessSchedule(
+        solver.ngrids, params, p_override=p_override, delta_by_grid=delta_by_grid
+    )
+    hist = VectorHistory(r, depth=sched.max_delta + 2)
+    nb = two_norm(b) or 1.0
+    trace: List[float] = []
+    t = 0
+    limit = _max_instants(params, sched)
+    while not sched.all_done:
+        if t >= limit:
+            raise RuntimeError("schedule failed to finish; alpha too small?")
+        active = sched.active_set(t)
+        total = np.zeros(n)
+        for k in active:
+            z = sched.read_instants(int(k), t, n)
+            r_read = hist.gather(z)
+            total += solver.correction(int(k), r_read)
+            sched.record_update(int(k))
+        x = x + total
+        r = r - solver.A @ total
+        t += 1
+        hist.push(r, t)
+        if track_trace:
+            trace.append(two_norm(r) / nb)
+    return _finalize(solver, x, b, sched, t, trace)

@@ -1,0 +1,243 @@
+"""Discrete-event machine model for wall-clock estimates.
+
+Python under the GIL cannot reproduce the paper's KNL wall-clock
+measurements directly (see DESIGN.md's substitution table), so timing
+results (Table I, Fig. 6) are regenerated with a first-principles
+machine model executing the *same* schedules the solvers define:
+
+- a thread computes at ``flop_rate`` flops/s, with multiplicative
+  heterogeneity jitter per work item (the "some processes take longer
+  than others" of the paper's introduction — the whole reason
+  asynchrony helps);
+- a barrier over ``p`` threads costs ``barrier_base + barrier_coef *
+  log2(p)`` seconds *plus* the straggler penalty that emerges naturally
+  from taking the max over jittered compute times;
+- a lock acquisition costs ``lock_cost``; an atomic update costs
+  ``atomic_cost_per_element`` for every element written (this is why
+  atomic-write loses to lock-write in Table I);
+- threads are assigned to grids proportionally to per-correction work
+  (:func:`repro.partition.work.partition_threads`).
+
+The model deliberately has few knobs, all with physically-motivated
+defaults roughly calibrated to a KNL-class socket; EXPERIMENTS.md
+compares only *shapes* (who wins, where the Mult/Multadd crossover
+falls), never absolute seconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..partition import partition_threads
+
+__all__ = ["MachineParams", "PerfModel"]
+
+
+@dataclass(frozen=True)
+class MachineParams:
+    """Machine constants for the discrete-event model.
+
+    Defaults approximate one KNL core (a few GF/s effective on sparse
+    kernels) with microsecond-scale synchronization.
+    """
+
+    flop_rate: float = 2.0e9  # flops/s per thread on sparse kernels
+    barrier_base: float = 1.0e-6  # s, fixed cost of any barrier
+    barrier_coef: float = 5.0e-7  # s per log2(participant)
+    lock_cost: float = 2.0e-6  # s per lock acquisition
+    atomic_cost_per_element: float = 1.0e-8  # s per atomically-updated element
+    jitter: float = 0.15  # relative std-dev of per-item compute time
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.flop_rate <= 0:
+            raise ValueError("flop_rate must be positive")
+        if self.jitter < 0:
+            raise ValueError("jitter must be non-negative")
+
+
+class PerfModel:
+    """Wall-clock estimates for the solvers' execution schedules."""
+
+    def __init__(self, params: MachineParams | None = None):
+        self.params = params or MachineParams()
+        self._rng = np.random.default_rng(self.params.seed)
+
+    # ------------------------------------------------------------------
+    def _compute_time(self, flops: float, nthreads: int, jittered: bool = True) -> float:
+        base = flops / (self.params.flop_rate * max(1, nthreads))
+        if not jittered or self.params.jitter == 0.0:
+            return base
+        factor = 1.0 + abs(self._rng.normal(0.0, self.params.jitter))
+        return base * factor
+
+    def barrier(self, p: int) -> float:
+        """Cost of synchronizing ``p`` threads."""
+        if p <= 1:
+            return 0.0
+        return self.params.barrier_base + self.params.barrier_coef * np.log2(p)
+
+    def _write_cost(self, write: str, nelements: int, nthreads: int) -> float:
+        if write == "lock":
+            return self.params.lock_cost + self._compute_time(
+                float(nelements), nthreads, jittered=False
+            )
+        if write == "atomic":
+            # Atomic fetch-and-adds serialize on cache lines; their
+            # throughput does not scale with the writer's thread count.
+            return self.params.atomic_cost_per_element * nelements
+        if write == "unsafe":
+            return self._compute_time(float(nelements), nthreads, jittered=False)
+        raise ValueError(f"unknown write policy {write!r}")
+
+    # ------------------------------------------------------------------
+    def time_mult(self, solver, nthreads: int, ncycles: int) -> float:
+        """Wall-clock of ``ncycles`` multiplicative V-cycles.
+
+        Every level's smoothing/restriction/prolongation runs on *all*
+        threads with a global barrier after each phase — the
+        multiplicative method's synchronization burden the paper
+        highlights (Fig. 6's rising Mult curves).
+        """
+        hier = solver.hierarchy
+        total = 0.0
+        for _ in range(ncycles):
+            t = self._compute_time(solver.residual_flops(), nthreads) + self.barrier(
+                nthreads
+            )
+            for k in range(hier.coarsest):
+                lv = hier.levels[k]
+                sweeps = solver.pre_sweeps + solver.post_sweeps
+                smooth_flops = sweeps * solver.smoothers[k].flops_per_sweep()
+                transfer_flops = 2.0 * lv.A.nnz + 2.0 * lv.R.nnz + 2.0 * lv.P.nnz
+                # 4 phases with barriers per level per cycle direction:
+                # pre-smooth, residual+restrict, prolong+add, post-smooth.
+                t += self._compute_time(smooth_flops + transfer_flops, nthreads)
+                t += 4.0 * self.barrier(nthreads)
+            t += self._compute_time(solver.coarse.flops(), 1)  # serial coarse solve
+            t += self.barrier(nthreads)
+            total += t
+        return total
+
+    # ------------------------------------------------------------------
+    def _grid_groups(self, solver, nthreads: int) -> Tuple[np.ndarray, float]:
+        """Threads per grid and the oversubscription slowdown factor.
+
+        When there are fewer threads than grids every grid still gets a
+        (time-shared) worker; all compute then slows down by
+        ``sum(groups) / nthreads`` — work conservation under
+        oversubscription.
+        """
+        groups = partition_threads(solver.work_per_grid(), nthreads)
+        slowdown = max(1.0, float(groups.sum()) / float(nthreads))
+        return groups, slowdown
+
+    def _intra_barriers(self, solver, k: int) -> int:
+        # Restrict chain (k), Lambda/smoothing (~2), prolong chain (k),
+        # one residual/read phase.
+        return 2 * k + 3
+
+    def _correction_time(
+        self,
+        solver,
+        k: int,
+        tk: int,
+        rescomp: str,
+        write: str,
+        slowdown: float = 1.0,
+    ) -> float:
+        t = self._compute_time(solver.correction_flops(k), tk)
+        t += self._intra_barriers(solver, k) * self.barrier(tk)
+        t += self._write_cost(write, solver.n, tk)  # write x
+        if rescomp == "local":
+            t += self._compute_time(solver.residual_flops(), tk)
+        elif rescomp == "global":
+            share = solver.n // max(1, solver.ngrids)
+            t += self._compute_time(
+                2.0 * solver.A.nnz / max(1, solver.ngrids), tk
+            )
+            t += self._write_cost(write, share, tk)  # refresh own rows
+        elif rescomp == "rupdate":
+            t += self._compute_time(2.0 * solver.A.nnz, tk)  # A e
+            t += self._write_cost(write, solver.n, tk)  # write r update
+        else:
+            raise ValueError(f"unknown rescomp {rescomp!r}")
+        return t * slowdown
+
+    def time_sync_additive(
+        self,
+        solver,
+        nthreads: int,
+        ncycles: int,
+        write: str = "lock",
+    ) -> float:
+        """Wall-clock of synchronous Multadd/AFACx cycles.
+
+        Grids correct concurrently on their thread groups; one global
+        barrier and one all-threads residual SpMV per cycle (Section V:
+        "at the end of a single cycle, all threads synchronize and
+        carry out an SpMV").
+        """
+        groups, slowdown = self._grid_groups(solver, nthreads)
+        total = 0.0
+        for _ in range(ncycles):
+            per_grid = []
+            for k in range(solver.ngrids):
+                tk = int(groups[k])
+                t = self._compute_time(solver.correction_flops(k), tk)
+                t += self._intra_barriers(solver, k) * self.barrier(tk)
+                t += self._write_cost(write, solver.n, tk)
+                per_grid.append(t)
+            total += max(per_grid) * slowdown
+            total += self.barrier(nthreads)
+            total += self._compute_time(solver.residual_flops(), nthreads)
+            total += self.barrier(nthreads)
+        return total
+
+    def time_async(
+        self,
+        solver,
+        nthreads: int,
+        tmax: int,
+        rescomp: str = "local",
+        write: str = "lock",
+        criterion: str = "criterion2",
+    ) -> Tuple[float, np.ndarray]:
+        """Wall-clock and per-grid correction counts of an async run.
+
+        Event simulation: each grid performs corrections back to back
+        (no global barriers).  Criterion 1 stops each grid at ``tmax``
+        own corrections (wall = slowest grid's finish).  Criterion 2
+        keeps every grid correcting until the *last* grid reaches
+        ``tmax`` (wall = that instant; fast grids accumulate extra
+        corrections — the paper's ``corrects > V-cycles``).
+        """
+        groups, slowdown = self._grid_groups(solver, nthreads)
+        finish_each = np.zeros(solver.ngrids)
+        counts = np.zeros(solver.ngrids, dtype=np.int64)
+        durations = []  # per-grid list of correction durations
+        for k in range(solver.ngrids):
+            tk = int(groups[k])
+            durs = [
+                self._correction_time(solver, k, tk, rescomp, write, slowdown)
+                for _ in range(tmax)
+            ]
+            durations.append(durs)
+            finish_each[k] = float(np.sum(durs))
+            counts[k] = tmax
+        wall = float(finish_each.max())
+        if criterion == "criterion1":
+            return wall, counts
+        if criterion != "criterion2":
+            raise ValueError(f"unknown criterion {criterion!r}")
+        # Criterion 2: grids that finished early keep correcting until
+        # `wall`; estimate extra corrections from their mean duration.
+        for k in range(solver.ngrids):
+            mean_d = float(np.mean(durations[k]))
+            if mean_d > 0.0:
+                extra = int((wall - finish_each[k]) / mean_d)
+                counts[k] += max(0, extra)
+        return wall, counts

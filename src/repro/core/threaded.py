@@ -1,0 +1,197 @@
+"""Real-thread shared-memory executor (the OpenMP substitute).
+
+One Python thread per grid runs the Algorithm-5 loop against shared
+NumPy arrays, with race handling delegated to the
+:mod:`repro.core.writes` policies and stopping to the
+:mod:`repro.core.criteria` criteria.  Under CPython's GIL the threads
+interleave rather than truly overlap, so wall-clock speedups are *not*
+meaningful here (the performance model covers that); what this executor
+delivers is genuine nondeterministic asynchrony — real stale reads,
+real partially-committed atomic writes, real Criterion-1/2 behaviour —
+for the convergence experiments (Figs. 4/5 and the corrects/V-cycles
+columns of Table I).
+
+Threading notes (see DESIGN.md): the paper assigns *groups* of threads
+to a grid and synchronizes inside the group; a GIL runtime gains
+nothing from intra-grid thread groups, so each grid gets one worker and
+the intra-grid barriers are implicit in its sequential kernel calls.
+The grid-to-thread *work partition* still matters for the performance
+model and is computed there.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from ..linalg import two_norm
+from .criteria import Criterion1, Criterion2
+from .writes import make_write_policy
+
+__all__ = ["ThreadedResult", "run_threaded"]
+
+_RESCOMP = ("local", "global", "rupdate")
+
+
+@dataclass
+class ThreadedResult:
+    """Outcome of a threaded asynchronous run."""
+
+    x: np.ndarray
+    rel_residual: float
+    counts: np.ndarray
+    wall_time: float
+    diverged: bool = False
+    errors: List[str] = field(default_factory=list)
+    residual_samples: List[tuple] = field(default_factory=list)
+    """``(wall_seconds, rel_residual)`` sampled by the monitor thread
+    when ``monitor_interval`` was set — the paper's residual-vs-time
+    measurement (taken outside the solve path, like its timestamping)."""
+
+    @property
+    def corrects(self) -> float:
+        return float(self.counts.mean())
+
+
+def _rows_matvec(A, x: np.ndarray, lo: int, hi: int) -> np.ndarray:
+    p0, p1 = A.indptr[lo], A.indptr[hi]
+    seg = A.data[p0:p1] * x[A.indices[p0:p1]]
+    local = np.repeat(np.arange(hi - lo), np.diff(A.indptr[lo : hi + 1]))
+    return np.bincount(local, weights=seg, minlength=hi - lo)
+
+
+def run_threaded(
+    solver,
+    b: np.ndarray,
+    tmax: int = 20,
+    rescomp: str = "local",
+    write: str = "lock",
+    criterion: str = "criterion1",
+    stripe: int = 1024,
+    x0: Optional[np.ndarray] = None,
+    divergence_threshold: float = 1e6,
+    timeout: float = 600.0,
+    monitor_interval: Optional[float] = None,
+) -> ThreadedResult:
+    """Run asynchronous additive multigrid with real threads.
+
+    Parameters mirror :func:`repro.core.engine.run_async_engine`;
+    ``write`` additionally accepts ``"unsafe"`` for the lost-update
+    ablation.  ``timeout`` bounds the wall-clock wait for stragglers
+    (a diverged run whose corrections overflow is cut short by the
+    divergence guard inside each worker).  ``monitor_interval`` (in
+    seconds) starts a sampling thread recording the true relative
+    residual over wall-clock time into ``residual_samples`` — the
+    paper's residual-vs-time measurement, taken outside the solve loop
+    so it adds no synchronization (its racy reads only blur samples).
+    """
+    if rescomp not in _RESCOMP:
+        raise ValueError(f"rescomp must be one of {_RESCOMP}")
+    n = solver.n
+    ngrids = solver.ngrids
+    A = solver.A
+
+    crit = (
+        Criterion1(ngrids, tmax)
+        if criterion == "criterion1"
+        else Criterion2(ngrids, tmax)
+    )
+    x = np.zeros(n) if x0 is None else np.array(x0, dtype=np.float64)
+    r = b - A @ x
+
+    xpol = make_write_policy(write, n, **({"stripe": stripe} if write == "atomic" else {}))
+    rpol = make_write_policy(write, n, **({"stripe": stripe} if write == "atomic" else {}))
+
+    # Row ownership for the global-res no-wait parfor (work shares).
+    work = solver.work_per_grid()
+    shares = np.maximum(work / work.sum(), 1e-6)
+    cuts = np.concatenate([[0.0], np.cumsum(shares) / shares.sum()])
+    row_bounds = np.round(cuts * n).astype(np.int64)
+    rows = [(int(row_bounds[k]), int(row_bounds[k + 1])) for k in range(ngrids)]
+
+    stop_event = threading.Event()
+    errors: List[str] = []
+    errors_lock = threading.Lock()
+    nb = two_norm(b) or 1.0
+
+    def worker(k: int) -> None:
+        r_local = b.copy()
+        try:
+            while not crit.grid_done(k) and not stop_event.is_set():
+                e = solver.correction(k, r_local)
+                xpol.add(x, e)
+                if rescomp == "rupdate":
+                    rpol.add(r, -(A @ e))
+                    r_local = rpol.read(r)
+                elif rescomp == "local":
+                    x_loc = xpol.read(x)
+                    r_local = b - A @ x_loc
+                else:  # global
+                    x_loc = xpol.read(x)
+                    lo, hi = rows[k]
+                    if hi > lo:
+                        fresh = b[lo:hi] - _rows_matvec(A, x_loc, lo, hi)
+                        rpol.assign_slice(r, lo, hi, fresh)
+                    r_local = rpol.read(r)
+                crit.record(k)
+                # Divergence guard on the *local* view — no extra sync.
+                m = float(np.abs(r_local).max()) if n else 0.0
+                if not np.isfinite(m) or m > divergence_threshold * max(nb, 1.0):
+                    stop_event.set()
+        except Exception as exc:  # pragma: no cover - surfaced in result
+            with errors_lock:
+                errors.append(f"grid {k}: {exc!r}")
+            stop_event.set()
+
+    threads = [threading.Thread(target=worker, args=(k,), daemon=True) for k in range(ngrids)]
+    import time as _time
+
+    samples: List[tuple] = []
+    monitor_stop = threading.Event()
+
+    def monitor(t_start: float) -> None:
+        while not monitor_stop.is_set():
+            now = _time.perf_counter() - t_start
+            rel_s = two_norm(b - A @ x) / nb  # racy read: sampling only
+            samples.append((now, float(rel_s)))
+            monitor_stop.wait(monitor_interval)
+
+    t0 = _time.perf_counter()
+    mon = None
+    if monitor_interval is not None:
+        if monitor_interval <= 0:
+            raise ValueError("monitor_interval must be positive")
+        mon = threading.Thread(target=monitor, args=(t0,), daemon=True)
+        mon.start()
+    for th in threads:
+        th.start()
+    for th in threads:
+        th.join(timeout=timeout)
+    wall = _time.perf_counter() - t0
+    if mon is not None:
+        monitor_stop.set()
+        mon.join(timeout=5.0)
+    timed_out = any(th.is_alive() for th in threads)
+    if timed_out:
+        stop_event.set()
+        for th in threads:
+            th.join(timeout=5.0)
+
+    rel = two_norm(b - A @ x) / nb
+    diverged = (
+        (stop_event.is_set() and not timed_out and not errors)
+        or not np.isfinite(rel)
+        or rel > divergence_threshold
+    )
+    return ThreadedResult(
+        x=x,
+        rel_residual=rel,
+        counts=crit.counts.copy(),
+        wall_time=wall,
+        diverged=bool(diverged),
+        errors=errors,
+        residual_samples=samples,
+    )

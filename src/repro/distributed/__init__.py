@@ -1,0 +1,34 @@
+"""Distributed-memory asynchronous multigrid (simulation).
+
+The paper closes with: "Looking towards distributed memory parallelism,
+we believe that the global-res approach is the most natural way to
+implement a distributed asynchronous multigrid method since we do not
+have to compute multiple fine grid residuals."  This package builds the
+simulation machinery to *test* that claim:
+
+- :mod:`repro.distributed.network` — a latency/bandwidth network model
+  with per-link delays and a seeded jitter process.
+- :mod:`repro.distributed.simulator` — a discrete-event simulator of
+  distributed asynchronous additive multigrid: each grid lives on its
+  own process; the fine-grid iterate/residual is replicated and
+  updated by correction messages that arrive after a network delay.
+  Both residual strategies are implemented:
+
+  * ``global-res``: processes exchange *correction* messages; each
+    process folds incoming corrections into its replica of the shared
+    residual (one SpMV per message against the correction — cheap,
+    single fine-grid residual, the paper's recommendation);
+  * ``local-res``: processes exchange *iterate* updates and recompute
+    their own fine residual before every correction (more computation,
+    fresher data).
+
+The simulator reports the same quantities as the shared-memory engines
+(final relative residual, per-grid corrections, simulated wall-clock),
+so benchmarks can put the paper's distributed-memory conjecture on the
+same axes as its shared-memory results.
+"""
+
+from .network import NetworkModel
+from .simulator import DistributedResult, simulate_distributed
+
+__all__ = ["NetworkModel", "DistributedResult", "simulate_distributed"]

@@ -1,0 +1,21 @@
+"""Geometric multigrid hierarchies for the structured test sets.
+
+The paper builds all hierarchies algebraically (BoomerAMG); for the
+structured ``7pt``/``27pt`` cube problems a *geometric* hierarchy —
+coarsen each grid dimension by two, interpolate trilinearly — is the
+classical alternative.  We provide it as a second, independent
+hierarchy construction:
+
+- it cross-validates the AMG setup (both must give grid-size
+  independent multigrid on the cube problems), and
+- it exercises the additive/asynchronous solvers on hierarchies with a
+  very different structure (fixed 8x coarsening, uniform interpolation
+  stencils, no aggressive levels).
+
+The produced :class:`repro.amg.hierarchy.Hierarchy` is plug-compatible
+with every solver and engine in the library.
+"""
+
+from .structured import geometric_hierarchy, trilinear_interpolation, coarse_grid_size
+
+__all__ = ["geometric_hierarchy", "trilinear_interpolation", "coarse_grid_size"]

@@ -1,0 +1,113 @@
+"""Structured geometric multigrid setup for cube grids.
+
+Grids hold the ``n^3`` interior points of a Dirichlet cube.  Coarse
+points sit at odd fine indices (fine index ``2j + 1`` in each
+dimension), so one coarsening step maps grid length ``n`` to
+``floor(n / 2)`` — the classical 8x volume coarsening.  Interpolation
+is trilinear: the tensor cube of the 1-D stencil ``[1/2, 1, 1/2]``.
+Fine points next to the Dirichlet boundary simply lose the weight of
+the missing neighbour (the boundary value is zero).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..amg.galerkin import galerkin_product
+from ..amg.hierarchy import AMGLevel, Hierarchy, SetupOptions
+from ..linalg import as_csr
+
+__all__ = ["coarse_grid_size", "trilinear_interpolation", "geometric_hierarchy"]
+
+
+def coarse_grid_size(n: int) -> int:
+    """Grid length after one geometric coarsening (``floor(n/2)``)."""
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    return n // 2
+
+
+def _interp_1d(n: int) -> sp.csr_matrix:
+    """1-D linear interpolation from the ``n//2`` coarse interior points.
+
+    Coarse point ``j`` lives at fine index ``2j + 1``; fine points get
+    weight 1 (coincident) or 1/2 (immediate neighbours).
+    """
+    nc = coarse_grid_size(n)
+    if nc < 1:
+        raise ValueError(f"grid length {n} cannot be coarsened")
+    rows, cols, vals = [], [], []
+    for j in range(nc):
+        centre = 2 * j + 1
+        rows.append(centre)
+        cols.append(j)
+        vals.append(1.0)
+        if centre - 1 >= 0:
+            rows.append(centre - 1)
+            cols.append(j)
+            vals.append(0.5)
+        if centre + 1 < n:
+            rows.append(centre + 1)
+            cols.append(j)
+            vals.append(0.5)
+    P = sp.csr_matrix((vals, (rows, cols)), shape=(n, nc))
+    return as_csr(P)
+
+
+def trilinear_interpolation(n: int) -> sp.csr_matrix:
+    """3-D trilinear interpolation on the ``n^3`` interior cube grid.
+
+    The tensor product ``P1 (x) P1 (x) P1`` — interior weights are the
+    classic 27-point {1, 1/2, 1/4, 1/8} stencil.
+    """
+    P1 = _interp_1d(n)
+    return as_csr(sp.kron(sp.kron(P1, P1), P1).tocsr())
+
+
+def geometric_hierarchy(
+    A: sp.spmatrix,
+    n: int,
+    max_coarse_length: int = 2,
+    max_levels: int = 25,
+) -> Hierarchy:
+    """Geometric hierarchy for an operator on the ``n^3`` cube grid.
+
+    Parameters
+    ----------
+    A:
+        Fine-grid operator, ordered lexicographically over the ``n^3``
+        interior points (as produced by
+        :func:`repro.problems.stencils.laplacian_7pt` / ``_27pt``).
+    n:
+        Fine grid length (``A.shape[0]`` must equal ``n**3``).
+    max_coarse_length:
+        Stop when the next grid length would fall below this.
+
+    Returns
+    -------
+    A solver-compatible :class:`~repro.amg.hierarchy.Hierarchy` whose
+    coarse operators are Galerkin products through the trilinear
+    interpolants.
+    """
+    A = as_csr(A)
+    if A.shape[0] != n**3:
+        raise ValueError(f"operator size {A.shape[0]} != n^3 = {n**3}")
+    # Record the geometric construction in the options for provenance.
+    opts = SetupOptions(coarsen_type="hmis", aggressive_levels=0)
+    hier = Hierarchy(levels=[AMGLevel(A=A)], options=opts)
+    length = n
+    while (
+        coarse_grid_size(length) >= max_coarse_length
+        and hier.nlevels < max_levels
+    ):
+        level = hier.levels[-1]
+        P = trilinear_interpolation(length)
+        level.P = P
+        level.R = as_csr(P.T)
+        Ac = galerkin_product(level.A, P)
+        hier.levels.append(AMGLevel(A=Ac))
+        length = coarse_grid_size(length)
+    if hier.nlevels < 2:
+        raise ValueError(f"grid length {n} too small to build a hierarchy")
+    return hier

@@ -1,0 +1,27 @@
+"""Persistence: problems, hierarchies and results on disk.
+
+Reproducibility plumbing: AMG setup is the expensive, randomized part
+of an experiment, so being able to snapshot a hierarchy (and the test
+problem it belongs to) makes every downstream run replayable without
+re-running setup.  Formats are plain ``.npz`` (self-contained, no
+pickle) plus Matrix Market export for interchange with other solver
+packages.
+"""
+
+from .serialize import (
+    load_hierarchy,
+    load_problem,
+    save_hierarchy,
+    save_problem,
+    write_matrix_market,
+    read_matrix_market,
+)
+
+__all__ = [
+    "save_problem",
+    "load_problem",
+    "save_hierarchy",
+    "load_hierarchy",
+    "write_matrix_market",
+    "read_matrix_market",
+]

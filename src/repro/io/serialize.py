@@ -1,0 +1,175 @@
+"""npz serialization for problems and hierarchies; Matrix Market I/O.
+
+Layouts are versioned so future format changes can stay readable.  No
+pickle anywhere: every array is stored as plain numeric data, so files
+are portable and safe to load.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..amg.hierarchy import AMGLevel, Hierarchy, SetupOptions
+from ..linalg import as_csr
+from ..problems.registry import TestProblem
+
+__all__ = [
+    "save_problem",
+    "load_problem",
+    "save_hierarchy",
+    "load_hierarchy",
+    "write_matrix_market",
+    "read_matrix_market",
+]
+
+_FORMAT_VERSION = 1
+
+
+def _pack_csr(prefix: str, M: sp.csr_matrix, out: dict) -> None:
+    out[f"{prefix}_data"] = M.data
+    out[f"{prefix}_indices"] = M.indices
+    out[f"{prefix}_indptr"] = M.indptr
+    out[f"{prefix}_shape"] = np.array(M.shape, dtype=np.int64)
+
+
+def _unpack_csr(prefix: str, blob) -> sp.csr_matrix:
+    return as_csr(
+        sp.csr_matrix(
+            (blob[f"{prefix}_data"], blob[f"{prefix}_indices"], blob[f"{prefix}_indptr"]),
+            shape=tuple(blob[f"{prefix}_shape"]),
+        )
+    )
+
+
+def save_problem(path: Union[str, Path], problem: TestProblem) -> None:
+    """Write a :class:`~repro.problems.registry.TestProblem` to ``.npz``."""
+    out: dict = {
+        "format_version": np.array(_FORMAT_VERSION),
+        "kind": np.array("problem"),
+        "name": np.array(problem.name),
+        "size_param": np.array(problem.size_param),
+        "jacobi_weight": np.array(problem.jacobi_weight),
+        "b": problem.b,
+    }
+    _pack_csr("A", as_csr(problem.A), out)
+    np.savez_compressed(str(path), **out)
+
+
+def load_problem(path: Union[str, Path]) -> TestProblem:
+    """Read a problem written by :func:`save_problem`."""
+    blob = np.load(str(path), allow_pickle=False)
+    if str(blob["kind"]) != "problem":
+        raise ValueError(f"{path} does not contain a problem")
+    return TestProblem(
+        name=str(blob["name"]),
+        A=_unpack_csr("A", blob),
+        b=np.asarray(blob["b"], dtype=np.float64),
+        size_param=int(blob["size_param"]),
+        jacobi_weight=float(blob["jacobi_weight"]),
+    )
+
+
+def save_hierarchy(path: Union[str, Path], hierarchy: Hierarchy) -> None:
+    """Write a hierarchy (operators, interpolants, splittings) to ``.npz``."""
+    out: dict = {
+        "format_version": np.array(_FORMAT_VERSION),
+        "kind": np.array("hierarchy"),
+        "nlevels": np.array(hierarchy.nlevels),
+    }
+    opts = hierarchy.options
+    out["opt_theta"] = np.array(opts.theta)
+    out["opt_strength_norm"] = np.array(opts.strength_norm)
+    out["opt_coarsen_type"] = np.array(opts.coarsen_type)
+    out["opt_aggressive_levels"] = np.array(opts.aggressive_levels)
+    out["opt_interp_type"] = np.array(opts.interp_type)
+    out["opt_num_functions"] = np.array(opts.num_functions)
+    out["opt_seed"] = np.array(opts.seed)
+    for k, lv in enumerate(hierarchy.levels):
+        _pack_csr(f"L{k}_A", lv.A, out)
+        if lv.P is not None:
+            _pack_csr(f"L{k}_P", lv.P, out)
+        if lv.splitting is not None:
+            out[f"L{k}_splitting"] = lv.splitting
+        if lv.functions is not None:
+            out[f"L{k}_functions"] = lv.functions
+    np.savez_compressed(str(path), **out)
+
+
+def load_hierarchy(path: Union[str, Path]) -> Hierarchy:
+    """Read a hierarchy written by :func:`save_hierarchy`."""
+    blob = np.load(str(path), allow_pickle=False)
+    if str(blob["kind"]) != "hierarchy":
+        raise ValueError(f"{path} does not contain a hierarchy")
+    opts = SetupOptions(
+        theta=float(blob["opt_theta"]),
+        strength_norm=str(blob["opt_strength_norm"]),
+        coarsen_type=str(blob["opt_coarsen_type"]),
+        aggressive_levels=int(blob["opt_aggressive_levels"]),
+        interp_type=str(blob["opt_interp_type"]),
+        num_functions=int(blob["opt_num_functions"]),
+        seed=int(blob["opt_seed"]),
+    )
+    nlevels = int(blob["nlevels"])
+    levels = []
+    for k in range(nlevels):
+        A = _unpack_csr(f"L{k}_A", blob)
+        P = _unpack_csr(f"L{k}_P", blob) if f"L{k}_P_data" in blob else None
+        splitting = (
+            np.asarray(blob[f"L{k}_splitting"]) if f"L{k}_splitting" in blob else None
+        )
+        functions = (
+            np.asarray(blob[f"L{k}_functions"]) if f"L{k}_functions" in blob else None
+        )
+        levels.append(
+            AMGLevel(
+                A=A,
+                P=P,
+                R=as_csr(P.T) if P is not None else None,
+                splitting=splitting,
+                functions=functions,
+            )
+        )
+    return Hierarchy(levels=levels, options=opts)
+
+
+def write_matrix_market(path: Union[str, Path], M: sp.spmatrix, comment: str = "") -> None:
+    """Minimal Matrix Market (coordinate, real, general) writer."""
+    M = as_csr(M).tocoo()
+    with open(path, "w") as f:
+        f.write("%%MatrixMarket matrix coordinate real general\n")
+        for line in comment.splitlines():
+            f.write(f"% {line}\n")
+        f.write(f"{M.shape[0]} {M.shape[1]} {M.nnz}\n")
+        for i, j, v in zip(M.row, M.col, M.data):
+            f.write(f"{i + 1} {j + 1} {v:.17g}\n")
+
+
+def read_matrix_market(path: Union[str, Path]) -> sp.csr_matrix:
+    """Minimal Matrix Market (coordinate, real, general/symmetric) reader."""
+    with open(path) as f:
+        header = f.readline()
+        if not header.startswith("%%MatrixMarket matrix coordinate real"):
+            raise ValueError(f"unsupported Matrix Market header: {header.strip()}")
+        symmetric = "symmetric" in header
+        line = f.readline()
+        while line.startswith("%"):
+            line = f.readline()
+        nrows, ncols, nnz = (int(tok) for tok in line.split())
+        rows = np.empty(nnz, dtype=np.int64)
+        cols = np.empty(nnz, dtype=np.int64)
+        vals = np.empty(nnz, dtype=np.float64)
+        for k in range(nnz):
+            toks = f.readline().split()
+            rows[k], cols[k], vals[k] = int(toks[0]) - 1, int(toks[1]) - 1, float(toks[2])
+    if symmetric:
+        off = rows != cols
+        r0, c0 = rows, cols
+        rows = np.concatenate([r0, c0[off]])
+        cols = np.concatenate([c0, r0[off]])
+        vals = np.concatenate([vals, vals[off]])
+    M = sp.csr_matrix((vals, (rows, cols)), shape=(nrows, ncols))
+    return as_csr(M)

@@ -1,0 +1,10 @@
+"""Thread-to-grid partitioning (Section IV).
+
+"Threads are distributed among the grids to balance the amount of
+'work', where the work for a grid is approximately the number of flops
+required for that grid to carry out its correction."
+"""
+
+from .work import partition_threads, largest_remainder
+
+__all__ = ["partition_threads", "largest_remainder"]

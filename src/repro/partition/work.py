@@ -1,0 +1,53 @@
+"""Work-proportional integer partitioning of threads among grids."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["largest_remainder", "partition_threads"]
+
+
+def largest_remainder(weights: np.ndarray, total: int) -> np.ndarray:
+    """Apportion ``total`` integer units proportionally to ``weights``.
+
+    The largest-remainder (Hamilton) method: floor the ideal shares,
+    then hand the leftover units to the largest fractional remainders.
+    Deterministic (ties broken by index) and exact
+    (``sum(out) == total``).
+    """
+    weights = np.asarray(weights, dtype=np.float64)
+    if total < 0:
+        raise ValueError("total must be non-negative")
+    if weights.ndim != 1 or weights.size == 0:
+        raise ValueError("weights must be a non-empty 1-D array")
+    if np.any(weights < 0) or weights.sum() == 0.0:
+        raise ValueError("weights must be non-negative with positive sum")
+    ideal = weights / weights.sum() * total
+    out = np.floor(ideal).astype(np.int64)
+    rem = total - int(out.sum())
+    if rem > 0:
+        frac = ideal - out
+        order = np.lexsort((np.arange(weights.size), -frac))
+        out[order[:rem]] += 1
+    return out
+
+
+def partition_threads(work: np.ndarray, nthreads: int) -> np.ndarray:
+    """Threads per grid, proportional to per-correction work, >= 1 each.
+
+    Every grid must make progress in an asynchronous method, so each
+    gets at least one thread; when ``nthreads < ngrids`` the deficit is
+    taken from the smallest-work grids last (they share what is left —
+    modeled by still granting 1, i.e. oversubscription, which is what
+    an OpenMP runtime would do with more "teams" than cores).
+    """
+    work = np.asarray(work, dtype=np.float64)
+    ngrids = work.size
+    if nthreads < 1:
+        raise ValueError("nthreads must be >= 1")
+    if ngrids == 0:
+        raise ValueError("need at least one grid")
+    if nthreads <= ngrids:
+        return np.ones(ngrids, dtype=np.int64)
+    extra = largest_remainder(np.maximum(work, 1e-12), nthreads - ngrids)
+    return extra + 1

@@ -1,0 +1,29 @@
+"""From-scratch P1 tetrahedral finite elements (MFEM substitute).
+
+The paper's ``MFEM Laplace`` (sphere, NURBS mesh) and ``MFEM
+Elasticity`` (multi-material cantilever, tet mesh) sets only enter the
+experiments through the assembled matrices.  We reproduce matrices of
+the same class with our own minimal FEM stack:
+
+- :mod:`repro.problems.fem.mesh` — structured tetrahedral meshes of a
+  cube, a ball (sphere-masked cube) and a slender beam, with boundary
+  detection and per-element material regions.
+- :mod:`repro.problems.fem.assembly` — vectorized P1 element matrices
+  and global assembly, plus Dirichlet elimination that keeps SPD-ness.
+- :mod:`repro.problems.fem.laplace` / :mod:`...fem.elasticity` — the
+  two paper problems built on top.
+"""
+
+from .mesh import TetMesh, ball_mesh, beam_mesh, cube_mesh
+from .laplace import laplace_on_ball, laplace_on_cube
+from .elasticity import elasticity_cantilever
+
+__all__ = [
+    "TetMesh",
+    "ball_mesh",
+    "beam_mesh",
+    "cube_mesh",
+    "laplace_on_ball",
+    "laplace_on_cube",
+    "elasticity_cantilever",
+]

@@ -1,0 +1,220 @@
+"""Structured tetrahedral mesh generation.
+
+A hexahedral ``nx x ny x nz`` grid of the requested domain is split
+into 6 tetrahedra per hex (the standard Kuhn/Freudenthal subdivision,
+which tiles space conformingly).  From the cube mesh we derive:
+
+- :func:`ball_mesh` — keep only tetrahedra whose centroid lies inside a
+  ball; the resulting jagged boundary plays the role of the paper's
+  NURBS sphere (the multigrid-relevant property is an unstructured
+  SPD operator on a non-tensor domain, not boundary smoothness).
+- :func:`beam_mesh` — a slender ``Lx >> Ly, Lz`` box with per-element
+  material ids split along x (the paper's multi-material cantilever).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["TetMesh", "cube_mesh", "ball_mesh", "beam_mesh"]
+
+# Kuhn subdivision of the unit hex into 6 tets.  Vertices of the hex are
+# numbered by binary (dx, dy, dz) -> dx + 2*dy + 4*dz.  Every tet
+# contains the main diagonal (0, 7), which makes the subdivision
+# conforming across neighbouring hexes.
+_KUHN_TETS = np.array(
+    [
+        [0, 1, 3, 7],
+        [0, 1, 5, 7],
+        [0, 2, 3, 7],
+        [0, 2, 6, 7],
+        [0, 4, 5, 7],
+        [0, 4, 6, 7],
+    ],
+    dtype=np.int64,
+)
+
+
+@dataclass
+class TetMesh:
+    """A tetrahedral mesh.
+
+    Attributes
+    ----------
+    nodes:
+        ``(n_nodes, 3)`` vertex coordinates.
+    tets:
+        ``(n_tets, 4)`` vertex indices (positive orientation after
+        :func:`_fix_orientation`).
+    boundary_nodes:
+        Indices of nodes on the Dirichlet boundary.
+    material:
+        ``(n_tets,)`` integer material id per element (all zero unless
+        the generator assigns regions).
+    """
+
+    nodes: np.ndarray
+    tets: np.ndarray
+    boundary_nodes: np.ndarray
+    material: np.ndarray = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        self.nodes = np.asarray(self.nodes, dtype=np.float64)
+        self.tets = np.asarray(self.tets, dtype=np.int64)
+        self.boundary_nodes = np.asarray(self.boundary_nodes, dtype=np.int64)
+        if self.material is None:
+            self.material = np.zeros(len(self.tets), dtype=np.int64)
+        if self.nodes.ndim != 2 or self.nodes.shape[1] != 3:
+            raise ValueError("nodes must be (n, 3)")
+        if self.tets.ndim != 2 or self.tets.shape[1] != 4:
+            raise ValueError("tets must be (m, 4)")
+        if len(self.material) != len(self.tets):
+            raise ValueError("material must have one id per tet")
+
+    @property
+    def n_nodes(self) -> int:
+        return self.nodes.shape[0]
+
+    @property
+    def n_tets(self) -> int:
+        return self.tets.shape[0]
+
+    def interior_nodes(self) -> np.ndarray:
+        """Complement of :attr:`boundary_nodes`."""
+        mask = np.ones(self.n_nodes, dtype=bool)
+        mask[self.boundary_nodes] = False
+        return np.flatnonzero(mask)
+
+    def volumes(self) -> np.ndarray:
+        """Signed volumes of all tets (positive after orientation fix)."""
+        p = self.nodes[self.tets]
+        d1 = p[:, 1] - p[:, 0]
+        d2 = p[:, 2] - p[:, 0]
+        d3 = p[:, 3] - p[:, 0]
+        return np.einsum("ij,ij->i", d1, np.cross(d2, d3)) / 6.0
+
+
+def _hex_grid(
+    nx: int, ny: int, nz: int, extent: Tuple[float, float, float]
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Nodes and 6-tet-per-hex connectivity of a structured box grid."""
+    if min(nx, ny, nz) < 1:
+        raise ValueError("need at least one cell in each direction")
+    lx, ly, lz = extent
+    xs = np.linspace(0.0, lx, nx + 1)
+    ys = np.linspace(0.0, ly, ny + 1)
+    zs = np.linspace(0.0, lz, nz + 1)
+    X, Y, Z = np.meshgrid(xs, ys, zs, indexing="ij")
+    nodes = np.column_stack([X.ravel(), Y.ravel(), Z.ravel()])
+
+    def node_id(ix: np.ndarray, iy: np.ndarray, iz: np.ndarray) -> np.ndarray:
+        return (ix * (ny + 1) + iy) * (nz + 1) + iz
+
+    ix, iy, iz = np.meshgrid(
+        np.arange(nx), np.arange(ny), np.arange(nz), indexing="ij"
+    )
+    ix, iy, iz = ix.ravel(), iy.ravel(), iz.ravel()
+    corners = np.empty((ix.size, 8), dtype=np.int64)
+    for c in range(8):
+        dx, dy, dz = c & 1, (c >> 1) & 1, (c >> 2) & 1
+        corners[:, c] = node_id(ix + dx, iy + dy, iz + dz)
+    tets = corners[:, _KUHN_TETS].reshape(-1, 4)
+    return nodes, tets
+
+
+def _fix_orientation(nodes: np.ndarray, tets: np.ndarray) -> np.ndarray:
+    """Swap two vertices of negatively-oriented tets."""
+    p = nodes[tets]
+    vol6 = np.einsum(
+        "ij,ij->i", p[:, 1] - p[:, 0], np.cross(p[:, 2] - p[:, 0], p[:, 3] - p[:, 0])
+    )
+    flip = vol6 < 0
+    tets = tets.copy()
+    tets[flip, 2], tets[flip, 3] = tets[flip, 3].copy(), tets[flip, 2].copy()
+    return tets
+
+
+def _compress(nodes: np.ndarray, tets: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Drop unreferenced nodes and renumber connectivity."""
+    used = np.unique(tets)
+    remap = -np.ones(nodes.shape[0], dtype=np.int64)
+    remap[used] = np.arange(used.size)
+    return nodes[used], remap[tets]
+
+
+def _surface_nodes(tets: np.ndarray) -> np.ndarray:
+    """Nodes on faces that belong to exactly one tet (the mesh surface)."""
+    faces = np.concatenate(
+        [
+            tets[:, [0, 1, 2]],
+            tets[:, [0, 1, 3]],
+            tets[:, [0, 2, 3]],
+            tets[:, [1, 2, 3]],
+        ]
+    )
+    key = np.sort(faces, axis=1)
+    _, idx, counts = np.unique(key, axis=0, return_index=True, return_counts=True)
+    boundary_faces = key[idx[counts == 1]]
+    return np.unique(boundary_faces)
+
+
+def cube_mesh(n: int, extent: float = 1.0) -> TetMesh:
+    """Tet mesh of the cube ``[0, extent]^3`` with ``n`` cells per side.
+
+    All surface nodes are Dirichlet.
+    """
+    nodes, tets = _hex_grid(n, n, n, (extent, extent, extent))
+    tets = _fix_orientation(nodes, tets)
+    return TetMesh(nodes, tets, _surface_nodes(tets))
+
+
+def ball_mesh(n: int, radius: float = 1.0) -> TetMesh:
+    """Tet mesh of (approximately) a ball of the given radius.
+
+    A ``[-r, r]^3`` cube grid with ``n`` cells per side is masked to
+    tets whose centroid lies inside the sphere; the jagged surface is
+    the Dirichlet boundary.  This is our substitute for the paper's
+    NURBS sphere (see DESIGN.md section 2).
+    """
+    if n < 3:
+        raise ValueError("ball_mesh needs n >= 3 for a non-degenerate interior")
+    nodes, tets = _hex_grid(n, n, n, (2 * radius, 2 * radius, 2 * radius))
+    nodes = nodes - radius  # centre at the origin
+    tets = _fix_orientation(nodes, tets)
+    centroids = nodes[tets].mean(axis=1)
+    inside = np.einsum("ij,ij->i", centroids, centroids) <= radius * radius
+    if not inside.any():
+        raise ValueError("mask removed every tet; increase n")
+    nodes2, tets2 = _compress(nodes, tets[inside])
+    return TetMesh(nodes2, tets2, _surface_nodes(tets2))
+
+
+def beam_mesh(
+    nx: int,
+    ny: int,
+    nz: int,
+    length: float = 8.0,
+    width: float = 1.0,
+    height: float = 1.0,
+    n_materials: int = 2,
+) -> TetMesh:
+    """Slender multi-material cantilever beam mesh.
+
+    The beam occupies ``[0, length] x [0, width] x [0, height]``; the
+    face at ``x = 0`` is clamped (Dirichlet).  Elements are assigned
+    ``n_materials`` material ids in equal slabs along x, mirroring the
+    paper's multi-material cantilever.
+    """
+    if n_materials < 1:
+        raise ValueError("n_materials must be >= 1")
+    nodes, tets = _hex_grid(nx, ny, nz, (length, width, height))
+    tets = _fix_orientation(nodes, tets)
+    clamped = np.flatnonzero(np.isclose(nodes[:, 0], 0.0))
+    centroids = nodes[tets].mean(axis=1)
+    material = np.minimum(
+        (centroids[:, 0] / length * n_materials).astype(np.int64), n_materials - 1
+    )
+    return TetMesh(nodes, tets, clamped, material)

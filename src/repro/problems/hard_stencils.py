@@ -1,0 +1,109 @@
+"""Harder stencil problems (extensions beyond the paper's test sets).
+
+Three classical AMG stress tests, used by the ablation benchmarks and
+tests to probe where asynchronous multigrid inherits classical
+multigrid's sensitivities:
+
+- :func:`anisotropic_laplacian_3d` — grid-aligned anisotropy
+  ``-eps_x u_xx - eps_y u_yy - eps_z u_zz``: pointwise smoothers only
+  smooth along strong directions, so coarsening must follow the
+  anisotropy (which classical strength does automatically).
+- :func:`convection_diffusion_3d` — a *nonsymmetric* upwind
+  convection-diffusion operator.  None of the paper's theory needs
+  symmetry except the Multadd equivalence; the asynchronous engines run
+  unchanged, which these problems exercise.
+- :func:`shifted_laplacian_3d` — ``A - sigma I``: reduced diagonal
+  dominance; at large shifts ``rho(|G|)`` exceeds one and asynchronous
+  smoothing loses its Chazan-Miranker guarantee (used by theory tests).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..linalg import as_csr
+from .stencils import laplacian_1d
+
+__all__ = [
+    "anisotropic_laplacian_3d",
+    "convection_diffusion_3d",
+    "shifted_laplacian_3d",
+]
+
+
+def anisotropic_laplacian_3d(
+    n: int, eps_x: float = 1.0, eps_y: float = 1.0, eps_z: float = 1e-2
+) -> sp.csr_matrix:
+    """7-point anisotropic Laplacian on the ``n^3`` Dirichlet grid."""
+    if min(eps_x, eps_y, eps_z) <= 0:
+        raise ValueError("anisotropy coefficients must be positive")
+    K = laplacian_1d(n)
+    eye = sp.identity(n, format="csr")
+    A = (
+        eps_x * sp.kron(sp.kron(K, eye), eye)
+        + eps_y * sp.kron(sp.kron(eye, K), eye)
+        + eps_z * sp.kron(sp.kron(eye, eye), K)
+    )
+    return as_csr(A)
+
+
+def _upwind_1d(n: int, velocity: float) -> sp.csr_matrix:
+    """First-order upwind difference of ``v u_x`` on ``n`` points."""
+    if velocity >= 0:
+        D = sp.diags([np.full(n - 1, -1.0), np.full(n, 1.0)], offsets=[-1, 0])
+    else:
+        D = sp.diags([np.full(n, -1.0), np.full(n - 1, 1.0)], offsets=[0, 1])
+    return (abs(velocity) * D).tocsr()
+
+
+def convection_diffusion_3d(
+    n: int, peclet: float = 10.0, velocity=(1.0, 0.5, 0.25)
+) -> sp.csr_matrix:
+    """Upwind convection-diffusion ``-lap u + Pe (v . grad u)``.
+
+    ``peclet`` scales the (grid) convection strength; the matrix is
+    nonsymmetric but remains an M-matrix (upwinding), so classical
+    strength/coarsening stay well-defined.
+    """
+    if peclet < 0:
+        raise ValueError("peclet must be non-negative")
+    K = laplacian_1d(n)
+    eye = sp.identity(n, format="csr")
+    A = (
+        sp.kron(sp.kron(K, eye), eye)
+        + sp.kron(sp.kron(eye, K), eye)
+        + sp.kron(sp.kron(eye, eye), K)
+    )
+    vx, vy, vz = velocity
+    C = (
+        sp.kron(sp.kron(_upwind_1d(n, vx), eye), eye)
+        + sp.kron(sp.kron(eye, _upwind_1d(n, vy)), eye)
+        + sp.kron(sp.kron(eye, eye), _upwind_1d(n, vz))
+    )
+    return as_csr((A + peclet * C).tocsr())
+
+
+def shifted_laplacian_3d(n: int, sigma: float = 0.5) -> sp.csr_matrix:
+    """``laplacian_7pt(n) - sigma * I`` (must stay positive definite).
+
+    Raises
+    ------
+    ValueError
+        If ``sigma`` exceeds the smallest Laplacian eigenvalue
+        ``3 * (2 - 2 cos(pi/(n+1)))`` — the shifted matrix would be
+        indefinite and outside every solver's assumptions.
+    """
+    lam_min = 3.0 * (2.0 - 2.0 * np.cos(np.pi / (n + 1)))
+    if sigma >= lam_min:
+        raise ValueError(
+            f"sigma={sigma} >= lambda_min={lam_min:.4f}: matrix would be indefinite"
+        )
+    K = laplacian_1d(n)
+    eye = sp.identity(n, format="csr")
+    A = (
+        sp.kron(sp.kron(K, eye), eye)
+        + sp.kron(sp.kron(eye, K), eye)
+        + sp.kron(sp.kron(eye, eye), K)
+    ) - sigma * sp.identity(n**3, format="csr")
+    return as_csr(A)

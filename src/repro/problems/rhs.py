@@ -1,0 +1,35 @@
+"""Right-hand sides for the experiments.
+
+The paper uses "random right-hand sides with values in [-1, 1]"
+(Section V).  Every generator here takes an explicit seed so the same
+RHS can be replayed across methods within one experiment.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["random_rhs", "ones_rhs", "smooth_rhs"]
+
+
+def random_rhs(n: int, seed: int = 0) -> np.ndarray:
+    """Uniform random vector in ``[-1, 1]`` of length ``n`` (paper's RHS)."""
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    rng = np.random.default_rng(seed)
+    return rng.uniform(-1.0, 1.0, size=n)
+
+
+def ones_rhs(n: int) -> np.ndarray:
+    """All-ones RHS (handy for deterministic debugging)."""
+    return np.ones(n, dtype=np.float64)
+
+
+def smooth_rhs(n: int, waves: int = 1) -> np.ndarray:
+    """A smooth (low-frequency) RHS — stresses the coarse-grid path.
+
+    ``sin(pi * waves * i / (n+1))`` over a 1-D index; useful in tests
+    that must separate smoother action from coarse-grid correction.
+    """
+    i = np.arange(1, n + 1, dtype=np.float64)
+    return np.sin(np.pi * waves * i / (n + 1.0))

@@ -1,0 +1,42 @@
+"""Smoothers (Section V of the paper).
+
+Four smoothers are evaluated in the paper, all with one sweep:
+
+- **omega-Jacobi** (:class:`WeightedJacobi`) — ``M = D / omega``.
+- **l1-Jacobi** (:class:`L1Jacobi`) — ``M_ii = sum_j |a_ij|``;
+  guarantees monotone A-norm error decay on SPD matrices.
+- **hybrid Jacobi-Gauss-Seidel** (:class:`HybridJGS`) — inexact block
+  Jacobi with one Gauss-Seidel sweep per block, one block per
+  thread/process.
+- **asynchronous Gauss-Seidel** (:class:`AsyncGS`) — the asynchronous
+  version of hybrid JGS: rows are relaxed with whatever mix of new and
+  old values is in memory (Eq. 5).  Our sequential backend models it
+  with randomly interleaved block-chunk updates; the threaded backend
+  runs it with real unsynchronized threads.
+
+Every smoother exposes the operations the solvers need: ``minv`` /
+``minv_t`` (one sweep from a zero initial guess), ``m_apply`` /
+``mt_apply`` (apply the smoothing matrix itself), ``sweep`` (stationary
+iteration), and ``symmetrized_apply`` (the Multadd
+``M^{-T}(M + M^T - A)M^{-1}``).
+"""
+
+from .base import Smoother, make_smoother
+from .jacobi import L1Jacobi, WeightedJacobi
+from .gauss_seidel import GaussSeidel, HybridJGS
+from .async_gs import AsyncGS
+from .chebyshev import Chebyshev
+from .sor import SOR, SSOR
+
+__all__ = [
+    "Smoother",
+    "make_smoother",
+    "WeightedJacobi",
+    "L1Jacobi",
+    "GaussSeidel",
+    "HybridJGS",
+    "AsyncGS",
+    "Chebyshev",
+    "SOR",
+    "SSOR",
+]

@@ -1,0 +1,150 @@
+"""Asynchronous Gauss-Seidel (sequential model).
+
+The paper's async GS is hybrid JGS run without synchronization: each
+thread relaxes its rows in order and writes each update immediately, so
+a relaxation reads an unpredictable mix of new and old values — the
+asynchronous iteration of Eq. 5.
+
+The sequential model here reproduces those semantics with a *randomly
+interleaved chunked sweep*: each block's row sequence is cut into
+chunks, the chunks of all blocks are interleaved in a random order, and
+chunks are relaxed one after another *using the latest values* —
+within-chunk reads are pre-chunk (a thread computes a batch before its
+writes land), across chunks reads are whatever has been written so far.
+Chunk size 1 is exact chaotic Gauss-Seidel; the default keeps the sweep
+vectorized while remaining a faithful Eq.-5 schedule.  The threaded
+executor instead runs hybrid JGS with real unsynchronized threads.
+
+Because an asynchronous sweep has no well-defined matrix ``M``, the
+Multadd operations (``m_apply``/``symmetrized_apply``) delegate to the
+synchronous hybrid-JGS counterpart — exactly the paper's choice of
+keeping the smoothed interpolants and Lambda_k fixed while only the
+sweeps are asynchronous.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..linalg import as_csr, csr_diagonal
+from .base import register
+from .gauss_seidel import HybridJGS
+
+__all__ = ["AsyncGS"]
+
+
+@register("async_gs")
+class AsyncGS(HybridJGS):
+    """Asynchronous Gauss-Seidel smoother (sequential-model flavour)."""
+
+    #: cap on the dense per-chunk triangular storage (elements)
+    _DENSE_BUDGET = 3e7
+
+    def __init__(
+        self,
+        A: sp.spmatrix,
+        nblocks: int = 8,
+        chunk: int = 64,
+        seed: int = 0,
+    ):
+        super().__init__(A, nblocks=nblocks)
+        if chunk < 1:
+            raise ValueError("chunk must be >= 1")
+        # Clamp the chunk so the dense per-chunk triangular factors fit
+        # in a fixed memory budget (n * chunk doubles).
+        n = self.A.shape[0]
+        self.chunk = int(max(1, min(chunk, self._DENSE_BUDGET // max(n, 1))))
+        self._rng = np.random.default_rng(seed)
+        self._diag = csr_diagonal(self.A)
+        # Dense lower-triangular diagonal blocks, one per chunk: the
+        # within-chunk relaxation is a true sequential GS mini-sweep
+        # (a thread relaxes its rows in order with its own fresh
+        # values), not a Jacobi step — using pre-chunk values inside
+        # the chunk would lose the damping GS provides and diverge on
+        # matrices with rho(D^{-1}A) > 2 (e.g. elasticity).
+        self._chunk_ranges: list[tuple[int, int]] = []
+        self._chunk_tril: list[np.ndarray] = []
+        for lo, hi in self.blocks:
+            for c in range(lo, hi, self.chunk):
+                d = min(c + self.chunk, hi)
+                self._chunk_ranges.append((c, d))
+                self._chunk_tril.append(
+                    np.tril(self.A[c:d, c:d].toarray())
+                )
+
+    # -- asynchronous sweep -------------------------------------------
+    def _chunk_block_of(self) -> np.ndarray:
+        """Block id of each chunk (for the interleaving order)."""
+        block_of = []
+        for bid, (lo, hi) in enumerate(self.blocks):
+            block_of += [bid] * -(-(hi - lo) // self.chunk) if hi > lo else []
+        return np.array(block_of, dtype=np.int64)
+
+    def _interleaved_chunks(self) -> list[int]:
+        """Random interleaving of per-block chunk indices for one sweep.
+
+        Each thread (block) processes its own chunks in order; the
+        interleaving *between* blocks is random — the Eq.-5 schedule.
+        """
+        block_of = self._chunk_block_of()
+        nblocks = int(block_of.max()) + 1 if block_of.size else 0
+        per_block = [np.flatnonzero(block_of == bid).tolist() for bid in range(nblocks)]
+        order: list[int] = []
+        weights = np.array([len(c) for c in per_block], dtype=np.float64)
+        cursors = [0] * nblocks
+        total = int(weights.sum())
+        for _ in range(total):
+            w = weights / weights.sum()
+            bid = int(self._rng.choice(nblocks, p=w))
+            order.append(per_block[bid][cursors[bid]])
+            cursors[bid] += 1
+            weights[bid] -= 1.0
+        return order
+
+    def sweep(self, x: np.ndarray, b: np.ndarray, nsweeps: int = 1) -> np.ndarray:
+        """``nsweeps`` asynchronous sweeps (chunk-interleaved chaotic GS).
+
+        Each chunk update is one forward Gauss-Seidel mini-sweep on the
+        chunk's rows against the *current* global iterate: fresh values
+        inside the chunk (a thread sees its own writes), possibly stale
+        values outside it (other threads' writes land whenever they
+        land).
+        """
+        if nsweeps < 0:
+            raise ValueError("nsweeps must be non-negative")
+        import scipy.linalg as sla
+
+        y = np.array(x, dtype=np.float64, copy=True)
+        A = self.A
+        for _ in range(nsweeps):
+            for ci in self._interleaved_chunks():
+                lo, hi = self._chunk_ranges[ci]
+                r = b[lo:hi] - _rows_matvec(A, y, lo, hi)
+                y[lo:hi] += sla.solve_triangular(
+                    self._chunk_tril[ci], r, lower=True, check_finite=False
+                )
+        return y
+
+    def minv(self, r: np.ndarray) -> np.ndarray:
+        """One asynchronous sweep applied to ``r`` from a zero guess.
+
+        Unlike the parent class this is *not* a fixed linear operator:
+        two calls use different chunk interleavings (that is the
+        model).  Solvers that need a deterministic ``M^{-1}`` (Multadd
+        Lambda) should use :class:`HybridJGS` semantics, available via
+        :meth:`sync_minv`.
+        """
+        return self.sweep(np.zeros_like(r), r, nsweeps=1)
+
+    def sync_minv(self, r: np.ndarray) -> np.ndarray:
+        """The synchronous hybrid-JGS ``M^{-1} r`` (deterministic)."""
+        return super().minv(r)
+
+
+def _rows_matvec(A: sp.csr_matrix, x: np.ndarray, lo: int, hi: int) -> np.ndarray:
+    """``(A @ x)[lo:hi]`` for a contiguous row range (gather only)."""
+    p0, p1 = A.indptr[lo], A.indptr[hi]
+    seg = A.data[p0:p1] * x[A.indices[p0:p1]]
+    local = np.repeat(np.arange(hi - lo), np.diff(A.indptr[lo : hi + 1]))
+    return np.bincount(local, weights=seg, minlength=hi - lo)

@@ -1,0 +1,133 @@
+"""Smoother interface.
+
+A smoother is the splitting ``A = M - N`` applied as the stationary
+iteration ``x <- x + M^{-1}(b - A x)`` with iteration matrix
+``G = I - M^{-1} A`` (paper Section II.A).  Solvers use smoothers
+through this interface; each concrete class implements the application
+of ``M^{-1}`` (and ``M``, ``M^T``) without ever forming inverses.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Optional
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..linalg import as_csr
+
+__all__ = ["Smoother", "make_smoother"]
+
+
+class Smoother(ABC):
+    """Abstract smoother bound to a fixed matrix ``A``."""
+
+    #: registry name, filled by :func:`make_smoother` registration
+    name: str = "abstract"
+
+    def __init__(self, A: sp.spmatrix):
+        self.A = as_csr(A)
+        self.n = self.A.shape[0]
+        if self.A.shape[0] != self.A.shape[1]:
+            raise ValueError("smoother needs a square matrix")
+
+    # ------------------------------------------------------------------
+    # Core operations
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def minv(self, r: np.ndarray) -> np.ndarray:
+        """``M^{-1} r`` — one sweep applied to residual ``r`` (zero guess)."""
+
+    @abstractmethod
+    def minv_t(self, r: np.ndarray) -> np.ndarray:
+        """``M^{-T} r`` (equals :meth:`minv` for symmetric ``M``)."""
+
+    @abstractmethod
+    def m_apply(self, v: np.ndarray) -> np.ndarray:
+        """``M v`` — needed by the generic symmetrized application."""
+
+    @abstractmethod
+    def mt_apply(self, v: np.ndarray) -> np.ndarray:
+        """``M^T v``."""
+
+    # ------------------------------------------------------------------
+    # Derived operations (shared implementations)
+    # ------------------------------------------------------------------
+    def sweep(
+        self, x: np.ndarray, b: np.ndarray, nsweeps: int = 1
+    ) -> np.ndarray:
+        """Apply ``nsweeps`` stationary iterations; returns the new ``x``.
+
+        ``x`` is not modified in place (solvers keep explicit snapshots
+        for the asynchronous models).
+        """
+        if nsweeps < 0:
+            raise ValueError("nsweeps must be non-negative")
+        y = np.array(x, dtype=np.float64, copy=True)
+        for _ in range(nsweeps):
+            y += self.minv(b - self.A @ y)
+        return y
+
+    def symmetrized_apply(self, r: np.ndarray) -> np.ndarray:
+        """``M^{-T} (M + M^T - A) M^{-1} r`` — the Multadd Lambda_k.
+
+        This is the error propagator of a forward sweep followed by a
+        backward (transposed) sweep, written as a single symmetric
+        operator (Section II.B.1).
+        """
+        y = self.minv(r)
+        z = self.m_apply(y) + self.mt_apply(y) - self.A @ y
+        return self.minv_t(z)
+
+    def iteration_matrix(self) -> sp.csr_matrix:
+        """Form ``G = I - M^{-1} A`` explicitly (tests / small problems).
+
+        Cost is one ``minv`` per column — only call on small matrices.
+        """
+        n = self.n
+        cols = []
+        eye = np.eye(n)
+        for j in range(n):
+            cols.append(eye[:, j] - self.minv(self.A @ eye[:, j]))
+        return as_csr(sp.csr_matrix(np.column_stack(cols)))
+
+    # ------------------------------------------------------------------
+    # Cost accounting (feeds the performance model)
+    # ------------------------------------------------------------------
+    def flops_per_sweep(self) -> float:
+        """Approximate flops of one sweep: SpMV + ``M^{-1}`` apply."""
+        return 2.0 * self.A.nnz + self.minv_flops()
+
+    def minv_flops(self) -> float:
+        """Flops of one ``M^{-1}`` application (default: diagonal scale)."""
+        return float(self.n)
+
+
+_REGISTRY = {}
+
+
+def register(name: str):
+    """Class decorator registering a smoother under a string name."""
+
+    def deco(cls):
+        cls.name = name
+        _REGISTRY[name] = cls
+        return cls
+
+    return deco
+
+
+def make_smoother(name: str, A: sp.spmatrix, **kwargs) -> Smoother:
+    """Build a smoother by registry name.
+
+    Names mirror the paper: ``"jacobi"`` (omega-Jacobi),
+    ``"l1_jacobi"``, ``"gs"``, ``"hybrid_jgs"``, ``"async_gs"``,
+    ``"chebyshev"``.
+    """
+    # Import concrete modules lazily so the registry is populated.
+    from . import async_gs, chebyshev, gauss_seidel, jacobi, sor  # noqa: F401
+
+    if name not in _REGISTRY:
+        raise KeyError(f"unknown smoother {name!r}; known: {sorted(_REGISTRY)}")
+    return _REGISTRY[name](A, **kwargs)

@@ -1,0 +1,96 @@
+"""Chebyshev polynomial smoother (extension beyond the paper).
+
+Not part of the paper's smoother set, but the natural
+synchronization-free *synchronous* competitor to asynchronous
+smoothing: a degree-``k`` Chebyshev sweep needs only SpMVs (no
+triangular solves, no data races), so we include it for the ablation
+benchmarks that ask "does async GS still win against a good
+communication-light smoother?".
+
+The polynomial targets the interval ``[lmax/alpha, lmax]`` of the
+diagonally-preconditioned operator, the standard multigrid practice
+(only high frequencies are damped; the coarse grid handles the rest).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..linalg import csr_diagonal, estimate_rho
+from .base import Smoother, register
+
+__all__ = ["Chebyshev"]
+
+
+@register("chebyshev")
+class Chebyshev(Smoother):
+    """Chebyshev smoother of fixed degree on ``D^{-1} A``."""
+
+    def __init__(
+        self,
+        A: sp.spmatrix,
+        degree: int = 3,
+        alpha: float = 30.0,
+        lmax: float | None = None,
+    ):
+        super().__init__(A)
+        if degree < 1:
+            raise ValueError("degree must be >= 1")
+        if alpha <= 1.0:
+            raise ValueError("alpha must exceed 1")
+        self.degree = int(degree)
+        self._dinv = 1.0 / csr_diagonal(self.A)
+        if lmax is None:
+            lmax = 1.1 * estimate_rho(
+                lambda v: self._dinv * (self.A @ v), n=self.n, iters=30
+            )
+        self.lmax = float(lmax)
+        self.lmin = self.lmax / float(alpha)
+
+    def minv(self, r: np.ndarray) -> np.ndarray:
+        """Apply the Chebyshev polynomial ``p(D^{-1}A) D^{-1}`` to ``r``.
+
+        Standard three-term recurrence on the shifted/scaled operator;
+        the result approximates ``A^{-1} r`` on the high end of the
+        spectrum.
+        """
+        theta = 0.5 * (self.lmax + self.lmin)
+        delta = 0.5 * (self.lmax - self.lmin)
+        apply_op = lambda v: self._dinv * (self.A @ v)  # noqa: E731
+        rd = self._dinv * r
+        # Chebyshev iteration for solving (D^{-1}A) y = D^{-1} r.
+        y = rd / theta
+        resid = rd - apply_op(y)
+        d_vec = resid / theta
+        sigma = theta / delta
+        rho_old = 1.0 / sigma
+        for _ in range(self.degree - 1):
+            rho_new = 1.0 / (2.0 * sigma - rho_old)
+            y = y + d_vec
+            resid = rd - apply_op(y)
+            d_vec = rho_new * rho_old * d_vec + (2.0 * rho_new / delta) * resid
+            rho_old = rho_new
+        return y
+
+    def minv_t(self, r: np.ndarray) -> np.ndarray:
+        # The polynomial in D^{-1}A is self-adjoint in the D inner
+        # product; for SPD A with symmetric D this equals minv.
+        return self.minv(r)
+
+    def m_apply(self, v: np.ndarray) -> np.ndarray:
+        raise NotImplementedError(
+            "Chebyshev has no explicit M; use it only where minv suffices"
+        )
+
+    def mt_apply(self, v: np.ndarray) -> np.ndarray:
+        raise NotImplementedError(
+            "Chebyshev has no explicit M; use it only where minv suffices"
+        )
+
+    def symmetrized_apply(self, r: np.ndarray) -> np.ndarray:
+        # Already symmetric as an operator: use it directly as Lambda.
+        return self.minv(r)
+
+    def minv_flops(self) -> float:
+        return self.degree * (2.0 * self.A.nnz + 4.0 * self.n)

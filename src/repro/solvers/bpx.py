@@ -1,0 +1,55 @@
+"""BPX — the classical additive multigrid preconditioner (Eq. 1).
+
+``x += sum_k P_k^0 Lambda_k (P_k^0)^T r`` with *plain* interpolants and
+``Lambda_k = M_k^{-1}`` (``Lambda_l = A_l^{-1}``).  As the paper notes,
+the coarse right-hand sides are nearly identical across grids, so the
+summed corrections over-correct and BPX *diverges as a solver* — it is
+meant to be used inside CG.  We keep it for exactly that contrast: the
+over-correction benchmark, and as a PCG preconditioner.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..amg import Hierarchy
+from .base import AdditiveMultigrid
+
+__all__ = ["BPX"]
+
+
+class BPX(AdditiveMultigrid):
+    """BPX additive multigrid (Bramble-Pasciak-Xu)."""
+
+    method_name = "bpx"
+
+    def __init__(
+        self,
+        hierarchy: Hierarchy,
+        smoother: str = "jacobi",
+        scale: float = 1.0,
+        **smoother_kwargs,
+    ):
+        """``scale`` multiplies every correction — a damped BPX with
+        ``scale ~ 1/(l+1)`` is a crude convergent fallback used in one
+        ablation."""
+        super().__init__(hierarchy, smoother, **smoother_kwargs)
+        if scale <= 0:
+            raise ValueError("scale must be positive")
+        self.scale = float(scale)
+
+    def correction(self, k: int, r: np.ndarray) -> np.ndarray:
+        """``scale * P_k^0 Lambda_k (P_k^0)^T r``."""
+        c = self.hierarchy.restrict_from_fine(k, r)
+        d = self.coarse(c) if k == self.hierarchy.coarsest else self.smoothers[k].minv(c)
+        return self.scale * self.hierarchy.interpolate_to_fine(k, d)
+
+    def correction_flops(self, k: int) -> float:
+        total = 0.0
+        for j in range(k):
+            total += 4.0 * self.hierarchy.levels[j].P.nnz
+        if k == self.hierarchy.coarsest:
+            total += self.coarse.flops()
+        else:
+            total += self.smoothers[k].minv_flops()
+        return total

@@ -1,0 +1,35 @@
+"""Coarsest-grid solver.
+
+Multadd and the multiplicative cycle use ``Lambda_l = A_l^{-1}``
+(paper Eq. 1/2): an exact solve on the coarsest grid.  We cache a
+sparse LU factorization; the coarsest grid is tiny (``max_coarse``
+rows) so setup cost is negligible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+from ..linalg import as_csr
+
+__all__ = ["CoarseSolver"]
+
+
+class CoarseSolver:
+    """Cached exact solver for the coarsest-grid operator."""
+
+    def __init__(self, A: sp.spmatrix):
+        self.A = as_csr(A)
+        if self.A.shape[0] != self.A.shape[1]:
+            raise ValueError("coarse solver needs a square matrix")
+        self._lu = spla.splu(self.A.tocsc())
+
+    def __call__(self, r: np.ndarray) -> np.ndarray:
+        """Solve ``A e = r`` exactly."""
+        return self._lu.solve(np.asarray(r, dtype=np.float64))
+
+    def flops(self) -> float:
+        """Approximate solve cost (two triangular sweeps over the LU)."""
+        return 2.0 * (self._lu.L.nnz + self._lu.U.nnz)

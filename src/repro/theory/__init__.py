@@ -1,0 +1,29 @@
+"""Convergence theory utilities.
+
+Quantitative backing for the paper's qualitative claims:
+
+- :mod:`repro.theory.twogrid` — exact/estimated error-propagator
+  spectral radii for the multiplicative, Multadd, AFACx and BPX
+  two-grid (and multigrid) operators; predicted-vs-observed rate
+  comparison.
+- :mod:`repro.theory.asynchronous` — Chazan-Miranker-style checks for
+  asynchronous smoothers (``rho(|G|) < 1``) and a staleness-penalty
+  estimate for the Section-III models.
+"""
+
+from .twogrid import (
+    error_propagator_rho,
+    method_operator,
+    observed_rate,
+    predicted_vs_observed,
+)
+from .asynchronous import async_smoother_margin, staleness_penalty
+
+__all__ = [
+    "error_propagator_rho",
+    "method_operator",
+    "observed_rate",
+    "predicted_vs_observed",
+    "async_smoother_margin",
+    "staleness_penalty",
+]

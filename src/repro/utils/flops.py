@@ -1,0 +1,24 @@
+"""Flop-count conventions used across solvers and the machine model.
+
+One place for the arithmetic so cost accounting cannot drift between
+the solvers' ``*_flops`` methods and the performance model.
+"""
+
+from __future__ import annotations
+
+__all__ = ["spmv_flops", "axpy_flops", "dot_flops"]
+
+
+def spmv_flops(nnz: int) -> float:
+    """A sparse matrix-vector product: one multiply + one add per nnz."""
+    return 2.0 * nnz
+
+
+def axpy_flops(n: int) -> float:
+    """``y += a * x``: one multiply + one add per element."""
+    return 2.0 * n
+
+
+def dot_flops(n: int) -> float:
+    """Inner product: one multiply + one add per element."""
+    return 2.0 * n

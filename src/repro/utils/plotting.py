@@ -1,0 +1,108 @@
+"""Terminal plotting: ASCII semilog convergence curves and timelines.
+
+Matplotlib is deliberately not a dependency; these render the two plot
+shapes the paper uses — residual-vs-cycles curves (Figs. 1-5) and
+per-grid activity timelines (the mental model behind Fig. 3) — as
+fixed-width text, good enough to eyeball shapes in a terminal or commit
+into EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Sequence
+
+import numpy as np
+
+__all__ = ["ascii_semilogy", "ascii_timeline"]
+
+
+def ascii_semilogy(
+    series: Dict[str, Sequence[float]],
+    width: int = 64,
+    height: int = 16,
+    title: str | None = None,
+) -> str:
+    """Render named positive series on a shared log-y / linear-x grid.
+
+    Each series gets a distinct marker; non-finite and non-positive
+    values are skipped (a diverged run simply leaves the canvas).
+    """
+    if not series:
+        raise ValueError("need at least one series")
+    markers = "ox+*#@%&"
+    pts = []
+    for vals in series.values():
+        pts += [v for v in vals if np.isfinite(v) and v > 0]
+    if not pts:
+        raise ValueError("no positive finite data to plot")
+    lo, hi = math.log10(min(pts)), math.log10(max(pts))
+    if hi - lo < 1e-12:
+        hi = lo + 1.0
+    max_len = max(len(v) for v in series.values())
+    if max_len < 2:
+        raise ValueError("series need at least two points")
+
+    canvas = [[" "] * width for _ in range(height)]
+    for si, (name, vals) in enumerate(series.items()):
+        m = markers[si % len(markers)]
+        for i, v in enumerate(vals):
+            if not (np.isfinite(v) and v > 0):
+                continue
+            x = round(i * (width - 1) / (max_len - 1))
+            y = (math.log10(v) - lo) / (hi - lo)
+            row = height - 1 - round(y * (height - 1))
+            canvas[row][x] = m
+    lines = []
+    if title:
+        lines.append(title)
+    for r, row in enumerate(canvas):
+        # y-axis label: decade at this row
+        frac = (height - 1 - r) / (height - 1)
+        label = f"1e{lo + frac * (hi - lo):+06.1f} |"
+        lines.append(label + "".join(row))
+    lines.append(" " * 9 + "-" * width)
+    legend = "  ".join(
+        f"{markers[i % len(markers)]}={name}" for i, name in enumerate(series)
+    )
+    lines.append(" " * 9 + legend)
+    return "\n".join(lines)
+
+
+def ascii_timeline(
+    events: Sequence[tuple],
+    ngrids: int,
+    width: int = 72,
+    title: str | None = None,
+) -> str:
+    """Render per-grid activity intervals as a text Gantt chart.
+
+    ``events`` is a sequence of ``(grid, t_start, t_end)`` tuples; each
+    grid gets one row with ``#`` marking busy spans — a quick way to
+    *see* an asynchronous schedule (no aligned columns = no barriers).
+    """
+    if ngrids < 1:
+        raise ValueError("ngrids must be >= 1")
+    events = list(events)
+    if not events:
+        raise ValueError("no events to draw")
+    t_max = max(e[2] for e in events)
+    t_min = min(e[1] for e in events)
+    span = max(t_max - t_min, 1e-300)
+    rows = [[" "] * width for _ in range(ngrids)]
+    for grid, t0, t1 in events:
+        if not 0 <= grid < ngrids:
+            raise ValueError(f"grid id {grid} out of range")
+        a = int((t0 - t_min) / span * (width - 1))
+        z = max(a + 1, int((t1 - t_min) / span * (width - 1)) + 1)
+        for x in range(a, min(z, width)):
+            rows[grid][x] = "#"
+    lines = []
+    if title:
+        lines.append(title)
+    for g, row in enumerate(rows):
+        lines.append(f"grid {g:2d} |" + "".join(row) + "|")
+    lines.append(
+        " " * 8 + f"t = {t_min:.3g} ... {t_max:.3g} (each column ~ {span / width:.3g})"
+    )
+    return "\n".join(lines)

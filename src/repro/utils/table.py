@@ -1,0 +1,49 @@
+"""Minimal ASCII table formatting for benchmark output.
+
+Benchmarks print tables shaped like the paper's (method rows, smoother
+column groups); this helper keeps the formatting in one place.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["format_table"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render rows as a fixed-width ASCII table.
+
+    ``None`` cells render as the paper's dagger for divergence.
+    """
+    cells = [[_fmt(c) for c in row] for row in rows]
+    widths = [
+        max(len(str(h)), *(len(r[j]) for r in cells)) if cells else len(str(h))
+        for j, h in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(str(h).rjust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(c: object) -> str:
+    if c is None:
+        return "+"  # dagger: divergence
+    if isinstance(c, float):
+        if c != c:  # NaN
+            return "+"
+        if c == 0:
+            return "0"
+        if abs(c) < 1e-3 or abs(c) >= 1e5:
+            return f"{c:.3e}"
+        return f"{c:.4f}"
+    return str(c)

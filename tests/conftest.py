@@ -1,0 +1,82 @@
+"""Shared fixtures: small, fast test problems and hierarchies.
+
+Session-scoped because AMG setup is the slow part; tests must not
+mutate fixture objects (solvers copy what they change).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.amg import SetupOptions, setup_hierarchy
+from repro.problems import laplacian_7pt, laplacian_27pt, random_rhs
+from repro.problems.fem import elasticity_cantilever, laplace_on_ball
+
+
+def poisson1d(n: int) -> sp.csr_matrix:
+    """1-D Dirichlet Laplacian — the smallest meaningful SPD matrix."""
+    return sp.diags(
+        [-np.ones(n - 1), 2.0 * np.ones(n), -np.ones(n - 1)],
+        offsets=[-1, 0, 1],
+        format="csr",
+    ).tocsr()
+
+
+@pytest.fixture(scope="session")
+def A_1d():
+    return poisson1d(32)
+
+
+@pytest.fixture(scope="session")
+def A_7pt():
+    return laplacian_7pt(8)  # 512 rows
+
+
+@pytest.fixture(scope="session")
+def A_27pt():
+    return laplacian_27pt(8)
+
+
+@pytest.fixture(scope="session")
+def A_ball():
+    return laplace_on_ball(10)
+
+
+@pytest.fixture(scope="session")
+def A_elas():
+    return elasticity_cantilever(8, 3, 3)
+
+
+@pytest.fixture(scope="session")
+def b_7pt(A_7pt):
+    return random_rhs(A_7pt.shape[0], seed=7)
+
+
+@pytest.fixture(scope="session")
+def hier_7pt(A_7pt):
+    return setup_hierarchy(A_7pt, SetupOptions(aggressive_levels=0, max_coarse=20))
+
+
+@pytest.fixture(scope="session")
+def hier_7pt_agg(A_7pt):
+    return setup_hierarchy(A_7pt, SetupOptions(aggressive_levels=1, max_coarse=20))
+
+
+@pytest.fixture(scope="session")
+def hier_27pt(A_27pt):
+    return setup_hierarchy(A_27pt, SetupOptions(aggressive_levels=1, max_coarse=20))
+
+
+@pytest.fixture(scope="session")
+def hier_ball(A_ball):
+    return setup_hierarchy(A_ball, SetupOptions(aggressive_levels=0, max_coarse=20))
+
+
+@pytest.fixture(scope="session")
+def hier_elas(A_elas):
+    return setup_hierarchy(
+        A_elas,
+        SetupOptions(aggressive_levels=0, strength_norm="abs", max_coarse=30),
+    )

@@ -1,0 +1,186 @@
+"""Unit tests for smoothed-aggregation AMG (extension)."""
+
+import numpy as np
+import pytest
+
+from repro.amg.aggregation import (
+    rigid_body_modes,
+    sa_strength,
+    setup_sa_hierarchy,
+    smoothed_prolongator,
+    standard_aggregation,
+    tentative_prolongator,
+    _block_condense,
+)
+from repro.problems import laplacian_7pt, random_rhs
+from repro.problems.fem import elasticity_cantilever
+from repro.solvers import Multadd, MultiplicativeMultigrid
+
+
+@pytest.fixture(scope="module")
+def elas_setup():
+    A, mesh, free = elasticity_cantilever(5, 5, 5, length=2.0, return_mesh=True)
+    free_nodes = free.reshape(-1, 3)[:, 0] // 3
+    B = rigid_body_modes(mesh.nodes[free_nodes])
+    return A, B
+
+
+class TestSAStrength:
+    def test_theta_zero_full_offdiag(self, A_7pt):
+        S = sa_strength(A_7pt, theta=0.0)
+        assert S.nnz == A_7pt.nnz - A_7pt.shape[0]
+
+    def test_no_diagonal(self, A_7pt):
+        S = sa_strength(A_7pt, theta=0.08)
+        assert np.all(S.diagonal() == 0)
+
+    def test_invalid_theta(self, A_7pt):
+        with pytest.raises(ValueError):
+            sa_strength(A_7pt, theta=1.0)
+
+
+class TestAggregation:
+    def test_every_node_assigned(self, A_7pt):
+        S = sa_strength(A_7pt, theta=0.08)
+        agg = standard_aggregation(S)
+        assert np.all(agg >= 0)
+
+    def test_aggregates_contiguous_ids(self, A_7pt):
+        S = sa_strength(A_7pt, theta=0.08)
+        agg = standard_aggregation(S)
+        ids = np.unique(agg)
+        assert np.array_equal(ids, np.arange(ids.size))
+
+    def test_empty_graph_gives_singletons(self):
+        import scipy.sparse as sp
+
+        S = sp.csr_matrix((5, 5))
+        agg = standard_aggregation(S)
+        assert np.array_equal(agg, np.arange(5))
+
+    def test_seed_aggregates_contain_neighborhood(self, A_1d):
+        S = sa_strength(A_1d, theta=0.0)
+        agg = standard_aggregation(S)
+        # 1-D: pass-1 aggregates are triples (node + 2 neighbours).
+        assert np.bincount(agg).max() >= 3
+
+
+class TestBlockCondense:
+    def test_shape(self, elas_setup):
+        A, _ = elas_setup
+        C = _block_condense(A, 3)
+        assert C.shape[0] == A.shape[0] // 3
+
+    def test_indivisible_raises(self, A_7pt):
+        with pytest.raises(ValueError):
+            _block_condense(A_7pt, 7)
+
+
+class TestTentativeProlongator:
+    def test_reproduces_nullspace_exactly(self, elas_setup):
+        A, B = elas_setup
+        C = _block_condense(A, 3)
+        agg = standard_aggregation(sa_strength(C, 0.08))
+        T, Bc = tentative_prolongator(agg, B, block_size=3)
+        assert np.abs(T @ Bc - B).max() < 1e-12
+
+    def test_orthonormal_columns(self, elas_setup):
+        A, B = elas_setup
+        C = _block_condense(A, 3)
+        agg = standard_aggregation(sa_strength(C, 0.08))
+        T, _ = tentative_prolongator(agg, B, block_size=3)
+        G = (T.T @ T).toarray()
+        assert np.allclose(G, np.eye(G.shape[0]), atol=1e-12)
+
+    def test_scalar_constant_vector(self, A_7pt):
+        S = sa_strength(A_7pt, theta=0.08)
+        agg = standard_aggregation(S)
+        T, Bc = tentative_prolongator(agg, np.ones((A_7pt.shape[0], 1)))
+        assert np.abs(T @ Bc - 1.0).max() < 1e-12
+
+
+class TestSmoothedProlongator:
+    def test_denser_than_tentative(self, A_7pt):
+        S = sa_strength(A_7pt, theta=0.08)
+        agg = standard_aggregation(S)
+        T, _ = tentative_prolongator(agg, np.ones((A_7pt.shape[0], 1)))
+        P = smoothed_prolongator(A_7pt, T)
+        assert P.nnz > T.nnz
+
+    def test_explicit_omega(self, A_7pt):
+        S = sa_strength(A_7pt, theta=0.08)
+        agg = standard_aggregation(S)
+        T, _ = tentative_prolongator(agg, np.ones((A_7pt.shape[0], 1)))
+        P = smoothed_prolongator(A_7pt, T, omega=0.5)
+        d = A_7pt.diagonal()
+        import scipy.sparse as sp
+
+        ref = T - sp.diags(0.5 / d) @ (A_7pt @ T)
+        assert abs(P - ref.tocsr()).max() < 1e-12
+
+
+class TestRigidBodyModes:
+    def test_shape(self):
+        B = rigid_body_modes(np.random.default_rng(0).standard_normal((10, 3)))
+        assert B.shape == (30, 6)
+
+    def test_in_elasticity_nullspace_before_clamping(self):
+        from repro.problems.fem.assembly import assemble_vector_stiffness
+        from repro.problems.fem.mesh import beam_mesh
+
+        m = beam_mesh(3, 2, 2)
+        A_full = assemble_vector_stiffness(m)
+        B = rigid_body_modes(m.nodes)
+        assert np.abs(A_full @ B).max() < 1e-9
+
+    def test_bad_coords(self):
+        with pytest.raises(ValueError):
+            rigid_body_modes(np.zeros((4, 2)))
+
+
+class TestSAHierarchy:
+    def test_poisson_converges(self, A_7pt, b_7pt):
+        h = setup_sa_hierarchy(A_7pt)
+        m = MultiplicativeMultigrid(h, smoother="jacobi", weight=0.9)
+        res = m.solve(b_7pt, tmax=20)
+        assert res.final_relres < 1e-5
+
+    def test_levels_spd(self, A_7pt):
+        h = setup_sa_hierarchy(A_7pt)
+        for lv in h.levels:
+            w = np.linalg.eigvalsh(lv.A.toarray())
+            assert w.min() > -1e-10
+
+    def test_low_operator_complexity(self, A_7pt):
+        h = setup_sa_hierarchy(A_7pt)
+        assert h.operator_complexity() < 2.5
+
+    def test_elasticity_with_rbm_converges(self, elas_setup):
+        A, B = elas_setup
+        h = setup_sa_hierarchy(A, B=B, block_size=3)
+        b = random_rhs(A.shape[0], 0)
+        m = MultiplicativeMultigrid(h, smoother="gs")
+        res = m.solve(b, tmax=60)
+        assert not res.diverged
+        assert res.final_relres < 0.5
+
+    def test_unsmoothed_variant(self, A_7pt, b_7pt):
+        h_pa = setup_sa_hierarchy(A_7pt, smooth=False)
+        h_sa = setup_sa_hierarchy(A_7pt, smooth=True)
+        m_pa = MultiplicativeMultigrid(h_pa, smoother="jacobi", weight=0.9)
+        m_sa = MultiplicativeMultigrid(h_sa, smoother="jacobi", weight=0.9)
+        r_pa = m_pa.solve(b_7pt, tmax=15).final_relres
+        r_sa = m_sa.solve(b_7pt, tmax=15).final_relres
+        assert r_sa < r_pa  # smoothing the prolongator must help
+
+    def test_solver_compatible_with_async_engine(self, A_7pt, b_7pt):
+        from repro.core import run_async_engine
+
+        h = setup_sa_hierarchy(A_7pt)
+        ma = Multadd(h, smoother="jacobi", weight=0.9)
+        res = run_async_engine(ma, b_7pt, tmax=20, seed=0)
+        assert res.rel_residual < 1e-2
+
+    def test_b_size_mismatch_raises(self, A_7pt):
+        with pytest.raises(ValueError):
+            setup_sa_hierarchy(A_7pt, B=np.ones((7, 1)))

@@ -1,0 +1,68 @@
+"""Unit tests for repro.amg.aggressive."""
+
+import numpy as np
+import pytest
+
+from repro.amg import (
+    CPOINT,
+    aggressive_coarsening,
+    classical_strength,
+    hmis_coarsening,
+    second_pass_strength,
+)
+
+
+@pytest.fixture(scope="module")
+def S_7pt(A_7pt):
+    return classical_strength(A_7pt, theta=0.25)
+
+
+class TestSecondPassStrength:
+    def test_shape_is_cpoint_square(self, S_7pt):
+        split = hmis_coarsening(S_7pt, seed=0)
+        Scc = second_pass_strength(S_7pt, split, npaths=1)
+        nc = int((split == CPOINT).sum())
+        assert Scc.shape == (nc, nc)
+
+    def test_no_diagonal(self, S_7pt):
+        split = hmis_coarsening(S_7pt, seed=0)
+        Scc = second_pass_strength(S_7pt, split)
+        assert np.all(Scc.diagonal() == 0)
+
+    def test_npaths_two_sparser(self, S_7pt):
+        split = hmis_coarsening(S_7pt, seed=0)
+        s1 = second_pass_strength(S_7pt, split, npaths=1)
+        s2 = second_pass_strength(S_7pt, split, npaths=2)
+        assert s2.nnz <= s1.nnz
+
+    def test_invalid_npaths(self, S_7pt):
+        split = hmis_coarsening(S_7pt, seed=0)
+        with pytest.raises(ValueError):
+            second_pass_strength(S_7pt, split, npaths=0)
+
+
+class TestAggressiveCoarsening:
+    def test_coarser_than_single_pass(self, S_7pt):
+        single = hmis_coarsening(S_7pt, seed=0)
+        double = aggressive_coarsening(S_7pt, coarsener="hmis", seed=0)
+        assert (double == CPOINT).sum() < (single == CPOINT).sum()
+
+    def test_aggressive_c_subset_of_first_pass_c(self, S_7pt):
+        # The second pass only removes C points, never adds.
+        first = hmis_coarsening(S_7pt, nparts=8, seed=0)
+        agg = aggressive_coarsening(S_7pt, coarsener="hmis", seed=0, nparts=8)
+        agg_c = np.flatnonzero(agg == CPOINT)
+        first_c = np.flatnonzero(first == CPOINT)
+        assert np.all(np.isin(agg_c, first_c))
+
+    def test_pmis_variant(self, S_7pt):
+        agg = aggressive_coarsening(S_7pt, coarsener="pmis", seed=0)
+        assert (agg == CPOINT).sum() >= 1
+
+    def test_unknown_coarsener(self, S_7pt):
+        with pytest.raises(ValueError):
+            aggressive_coarsening(S_7pt, coarsener="cljp")
+
+    def test_everything_decided(self, S_7pt):
+        agg = aggressive_coarsening(S_7pt, coarsener="hmis", seed=0)
+        assert set(np.unique(agg)) <= {-1, 1}

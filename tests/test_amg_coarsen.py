@@ -1,0 +1,150 @@
+"""Unit tests for repro.amg.coarsen."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.amg import (
+    CPOINT,
+    FPOINT,
+    UNDECIDED,
+    classical_strength,
+    hmis_coarsening,
+    pmis_coarsening,
+    rs_coarsening,
+    rs_first_pass,
+    validate_cf_splitting,
+)
+
+
+@pytest.fixture(scope="module")
+def S_7pt(A_7pt):
+    return classical_strength(A_7pt, theta=0.25)
+
+
+class TestRSFirstPass:
+    def test_everything_decided_full_domain(self, S_7pt):
+        split = rs_first_pass(S_7pt)
+        split[split == UNDECIDED] = FPOINT
+        assert np.all(np.isin(split, (CPOINT, FPOINT)))
+
+    def test_1d_red_black(self, A_1d):
+        S = classical_strength(A_1d, theta=0.25)
+        split = rs_first_pass(S)
+        ncoarse = (split == CPOINT).sum()
+        # 1-D RS picks roughly every other point.
+        assert 0.3 * A_1d.shape[0] <= ncoarse <= 0.7 * A_1d.shape[0]
+
+    def test_no_adjacent_cc_in_1d(self, A_1d):
+        # In a path graph, RS never selects two adjacent C points
+        # (the neighbour of a new C immediately becomes F).
+        S = classical_strength(A_1d, theta=0.25)
+        split = rs_first_pass(S)
+        c = split == CPOINT
+        assert not np.any(c[:-1] & c[1:])
+
+    def test_block_mode_leaves_boundary_undecided(self, S_7pt):
+        n = S_7pt.shape[0]
+        allowed = np.zeros(n, dtype=bool)
+        allowed[: n // 2] = True
+        split = rs_first_pass(S_7pt, allowed=allowed)
+        assert np.all(split[~allowed] == UNDECIDED)
+
+    def test_isolated_point_becomes_f(self):
+        S = sp.csr_matrix((3, 3))
+        split = rs_first_pass(S)
+        assert np.all(split == FPOINT)
+
+
+class TestRSCoarsening:
+    def test_valid_with_common_c(self, S_7pt):
+        split = rs_coarsening(S_7pt)
+        validate_cf_splitting(S_7pt, split, require_common_c=True)
+
+    def test_nontrivial_coarse_fraction(self, S_7pt):
+        split = rs_coarsening(S_7pt)
+        frac = (split == CPOINT).mean()
+        assert 0.1 < frac < 0.8
+
+
+class TestPMIS:
+    def test_valid_splitting(self, S_7pt):
+        split = pmis_coarsening(S_7pt, seed=0)
+        assert not np.any(split == UNDECIDED)
+
+    def test_independent_set(self, S_7pt):
+        # C points form an independent set in the symmetrized strong graph.
+        split = pmis_coarsening(S_7pt, seed=0)
+        sym = ((S_7pt + S_7pt.T) > 0).tocsr()
+        cpts = np.flatnonzero(split == CPOINT)
+        sub = sym[cpts][:, cpts]
+        assert sub.nnz == 0
+
+    def test_coarser_than_rs(self, S_7pt):
+        # PMIS typically selects far fewer C points than RS.
+        c_pmis = (pmis_coarsening(S_7pt, seed=0) == CPOINT).sum()
+        c_rs = (rs_coarsening(S_7pt) == CPOINT).sum()
+        assert c_pmis <= c_rs
+
+    def test_seed_changes_split(self, S_7pt):
+        s1 = pmis_coarsening(S_7pt, seed=0)
+        s2 = pmis_coarsening(S_7pt, seed=1)
+        assert not np.array_equal(s1, s2)
+
+    def test_seed_reproducible(self, S_7pt):
+        assert np.array_equal(
+            pmis_coarsening(S_7pt, seed=3), pmis_coarsening(S_7pt, seed=3)
+        )
+
+    def test_seeded_cpoints_respected(self, S_7pt):
+        pre = np.full(S_7pt.shape[0], UNDECIDED, dtype=np.int8)
+        pre[0] = CPOINT
+        split = pmis_coarsening(S_7pt, seed=0, splitting=pre)
+        assert split[0] == CPOINT
+        # Strong dependents of point 0 were forced F.
+        deps = S_7pt.T.tocsr()[0].indices
+        assert np.all(split[deps] == FPOINT)
+
+    def test_empty_strength(self):
+        S = sp.csr_matrix((6, 6))
+        split = pmis_coarsening(S)
+        assert np.all(split == FPOINT)
+
+
+class TestHMIS:
+    def test_valid_splitting(self, S_7pt):
+        split = hmis_coarsening(S_7pt, nparts=4, seed=0)
+        validate_cf_splitting(S_7pt, split)
+
+    def test_f_points_have_c_neighbour(self, S_7pt):
+        split = hmis_coarsening(S_7pt, nparts=4, seed=0)
+        for i in range(S_7pt.shape[0]):
+            row = S_7pt.indices[S_7pt.indptr[i] : S_7pt.indptr[i + 1]]
+            if split[i] == FPOINT and row.size:
+                assert np.any(split[row] == CPOINT)
+
+    def test_single_part_degenerates(self, S_7pt):
+        split = hmis_coarsening(S_7pt, nparts=1, seed=0)
+        assert not np.any(split == UNDECIDED)
+
+    def test_reasonable_coarsening_factor(self, S_7pt):
+        split = hmis_coarsening(S_7pt, nparts=4, seed=0)
+        frac = (split == CPOINT).mean()
+        assert 0.05 < frac < 0.65
+
+
+class TestValidate:
+    def test_rejects_undecided(self, S_7pt):
+        split = np.full(S_7pt.shape[0], UNDECIDED, dtype=np.int8)
+        with pytest.raises(ValueError, match="undecided"):
+            validate_cf_splitting(S_7pt, split)
+
+    def test_rejects_orphan_f(self, A_1d):
+        S = classical_strength(A_1d)
+        split = np.full(A_1d.shape[0], FPOINT, dtype=np.int8)
+        with pytest.raises(ValueError, match="no C-neighbour"):
+            validate_cf_splitting(S, split)
+
+    def test_rejects_wrong_length(self, S_7pt):
+        with pytest.raises(ValueError, match="length"):
+            validate_cf_splitting(S_7pt, np.array([CPOINT]))

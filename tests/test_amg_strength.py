@@ -1,0 +1,78 @@
+"""Unit tests for repro.amg.strength."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.amg import classical_strength, strength_transpose_counts
+
+
+class TestClassicalStrength:
+    def test_laplacian_all_strong(self, A_1d):
+        # Uniform off-diagonals: everything is strong at theta <= 1.
+        S = classical_strength(A_1d, theta=0.25)
+        offdiag = A_1d.nnz - A_1d.shape[0]
+        assert S.nnz == offdiag
+
+    def test_no_diagonal(self, A_7pt):
+        S = classical_strength(A_7pt)
+        assert np.all(S.diagonal() == 0.0)
+
+    def test_threshold_filters(self):
+        # Row 0 has couplings -4 and -1: theta=0.5 keeps only the -4.
+        A = sp.csr_matrix(
+            np.array([[6.0, -4.0, -1.0], [-4.0, 6.0, -1.0], [-1.0, -1.0, 6.0]])
+        )
+        S = classical_strength(A, theta=0.5)
+        assert S[0, 1] != 0 and S[0, 2] == 0
+
+    def test_positive_offdiag_never_strong_min_norm(self):
+        A = sp.csr_matrix(np.array([[2.0, 1.0], [1.0, 2.0]]))
+        S = classical_strength(A, theta=0.1, norm="min")
+        assert S.nnz == 0
+
+    def test_abs_norm_sees_positive(self):
+        A = sp.csr_matrix(np.array([[2.0, 1.0], [1.0, 2.0]]))
+        S = classical_strength(A, theta=0.1, norm="abs")
+        assert S.nnz == 2
+
+    def test_theta_zero_keeps_all_negative(self, A_7pt):
+        S0 = classical_strength(A_7pt, theta=0.0)
+        S9 = classical_strength(A_7pt, theta=0.9)
+        assert S0.nnz >= S9.nnz
+
+    def test_invalid_theta(self, A_1d):
+        with pytest.raises(ValueError):
+            classical_strength(A_1d, theta=1.5)
+
+    def test_invalid_norm(self, A_1d):
+        with pytest.raises(ValueError):
+            classical_strength(A_1d, norm="spectral")
+
+    def test_nonsquare_raises(self):
+        with pytest.raises(ValueError):
+            classical_strength(sp.csr_matrix(np.ones((2, 3))))
+
+    def test_diagonal_matrix_no_strength(self):
+        S = classical_strength(sp.identity(5, format="csr"))
+        assert S.nnz == 0
+
+    def test_pattern_binary(self, A_27pt):
+        S = classical_strength(A_27pt)
+        assert set(np.unique(S.data)) <= {1.0}
+
+
+class TestTransposeCounts:
+    def test_symmetric_matrix_counts(self, A_1d):
+        S = classical_strength(A_1d, theta=0.25)
+        counts = strength_transpose_counts(S)
+        # Interior points influence 2 neighbours, endpoints 1.
+        assert counts[0] == 1 and counts[1] == 2
+
+    def test_sum_equals_nnz(self, A_7pt):
+        S = classical_strength(A_7pt)
+        assert strength_transpose_counts(S).sum() == S.nnz
+
+    def test_empty(self):
+        S = sp.csr_matrix((4, 4))
+        assert np.all(strength_transpose_counts(S) == 0)

@@ -1,0 +1,106 @@
+"""Unit tests for unknown-based systems AMG (num_functions > 1)."""
+
+import numpy as np
+import pytest
+
+from repro.amg import SetupOptions, setup_hierarchy
+from repro.amg.hierarchy import _filter_cross_function
+from repro.linalg import as_csr
+from repro.problems import random_rhs
+from repro.problems.fem import elasticity_cantilever
+from repro.solvers import MultiplicativeMultigrid
+
+
+@pytest.fixture(scope="module")
+def A_beam():
+    return elasticity_cantilever(6, 6, 6, length=2.0)
+
+
+class TestFilterCrossFunction:
+    def test_only_same_function_entries_survive(self, A_beam):
+        n = A_beam.shape[0]
+        functions = np.arange(n) % 3
+        F = _filter_cross_function(A_beam, functions)
+        coo = F.tocoo()
+        assert np.all(functions[coo.row] == functions[coo.col])
+
+    def test_diagonal_preserved(self, A_beam):
+        functions = np.arange(A_beam.shape[0]) % 3
+        F = _filter_cross_function(A_beam, functions)
+        assert np.allclose(F.diagonal(), A_beam.diagonal())
+
+    def test_scalar_identity(self, A_beam):
+        functions = np.zeros(A_beam.shape[0], dtype=np.int64)
+        F = _filter_cross_function(A_beam, functions)
+        assert (F != as_csr(A_beam)).nnz == 0
+
+
+class TestSystemsSetup:
+    def test_function_map_propagates(self, A_beam):
+        h = setup_hierarchy(
+            A_beam,
+            SetupOptions(aggressive_levels=0, strength_norm="abs", num_functions=3),
+        )
+        for lv in h.levels:
+            assert lv.functions is not None
+            assert lv.functions.shape == (lv.n,)
+        # The coarse function map keeps all three unknowns represented.
+        assert set(np.unique(h.levels[1].functions)) == {0, 1, 2}
+
+    def test_interpolation_block_structure(self, A_beam):
+        # Unknown-based P never couples different unknowns.
+        h = setup_hierarchy(
+            A_beam,
+            SetupOptions(aggressive_levels=0, strength_norm="abs", num_functions=3),
+        )
+        lv = h.levels[0]
+        coo = lv.P.tocoo()
+        fine_f = lv.functions
+        coarse_f = h.levels[1].functions
+        assert np.all(fine_f[coo.row] == coarse_f[coo.col])
+
+    def test_explicit_functions_override(self, A_beam):
+        funcs = np.arange(A_beam.shape[0]) % 3
+        h = setup_hierarchy(
+            A_beam,
+            SetupOptions(aggressive_levels=0, strength_norm="abs"),
+            functions=funcs,
+        )
+        assert h.levels[0].functions is not None
+
+    def test_wrong_length_functions_raise(self, A_beam):
+        with pytest.raises(ValueError, match="one unknown id per dof"):
+            setup_hierarchy(A_beam, SetupOptions(), functions=np.array([0, 1]))
+
+    def test_scalar_problems_unaffected(self, A_7pt):
+        h1 = setup_hierarchy(A_7pt, SetupOptions(aggressive_levels=0, seed=3))
+        h2 = setup_hierarchy(
+            A_7pt, SetupOptions(aggressive_levels=0, seed=3, num_functions=1)
+        )
+        assert [lv.n for lv in h1.levels] == [lv.n for lv in h2.levels]
+
+
+class TestSystemsConvergence:
+    def test_unknown_based_beats_scalar_on_elasticity(self, A_beam):
+        b = random_rhs(A_beam.shape[0], seed=0)
+        rels = {}
+        for nf in (1, 3):
+            h = setup_hierarchy(
+                A_beam,
+                SetupOptions(
+                    aggressive_levels=0, strength_norm="abs", num_functions=nf
+                ),
+            )
+            m = MultiplicativeMultigrid(h, smoother="jacobi", weight=0.5)
+            rels[nf] = m.solve(b, tmax=60).final_relres
+        assert rels[3] < rels[1]
+
+    def test_aggressive_with_systems_stays_stable(self, A_beam):
+        b = random_rhs(A_beam.shape[0], seed=1)
+        h = setup_hierarchy(
+            A_beam,
+            SetupOptions(aggressive_levels=2, strength_norm="abs", num_functions=3),
+        )
+        m = MultiplicativeMultigrid(h, smoother="jacobi", weight=0.5)
+        res = m.solve(b, tmax=40)
+        assert not res.diverged

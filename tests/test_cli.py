@@ -1,0 +1,93 @@
+"""Unit tests for the CLI."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["solve"])
+        assert args.test_set == "7pt"
+        assert args.method == "multadd"
+
+
+class TestCommands:
+    def test_setup(self, capsys):
+        assert main(["setup", "--set", "7pt", "--size", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "operator complexity" in out
+
+    def test_solve_sync(self, capsys):
+        assert main(["solve", "--set", "7pt", "--size", "8", "--tmax", "5"]) == 0
+        assert "sync multadd" in capsys.readouterr().out
+
+    def test_solve_async(self, capsys):
+        rc = main(
+            [
+                "solve",
+                "--set",
+                "7pt",
+                "--size",
+                "8",
+                "--run-async",
+                "--tmax",
+                "5",
+                "--criterion",
+                "criterion1",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "async multadd" in out
+        assert "corrects" in out
+
+    def test_async_mult_rejected(self, capsys):
+        rc = main(
+            ["solve", "--set", "7pt", "--size", "8", "--method", "mult", "--run-async"]
+        )
+        assert rc == 2
+
+    def test_models(self, capsys):
+        rc = main(
+            [
+                "models",
+                "--set",
+                "7pt",
+                "--size",
+                "8",
+                "--model",
+                "full_res",
+                "--delta",
+                "2",
+                "--tmax",
+                "5",
+            ]
+        )
+        assert rc == 0
+        assert "full_res model" in capsys.readouterr().out
+
+    def test_table1(self, capsys):
+        rc = main(
+            [
+                "table1",
+                "--set",
+                "7pt",
+                "--size",
+                "7",
+                "--tol",
+                "1e-4",
+                "--runs",
+                "1",
+                "--max-cycles",
+                "100",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "sync Mult" in out
+        assert "r-Multadd" in out

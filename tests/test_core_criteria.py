@@ -1,0 +1,68 @@
+"""Unit tests for convergence criteria (Section V)."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core import Criterion1, Criterion2
+
+
+class TestCriterion1:
+    def test_grid_stops_individually(self):
+        c = Criterion1(3, tmax=2)
+        c.record(0)
+        c.record(0)
+        assert c.grid_done(0)
+        assert not c.grid_done(1)
+        assert not c.all_done()
+
+    def test_all_done(self):
+        c = Criterion1(2, tmax=1)
+        c.record(0)
+        c.record(1)
+        assert c.all_done()
+
+    def test_invalid_tmax(self):
+        with pytest.raises(ValueError):
+            Criterion1(2, tmax=0)
+
+
+class TestCriterion2:
+    def test_fast_grid_keeps_running(self):
+        c = Criterion2(2, tmax=2)
+        c.record(0)
+        c.record(0)
+        c.record(0)  # grid 0 far ahead
+        assert not c.grid_done(0)  # flag not set: grid 1 behind
+        c.record(1)
+        c.record(1)
+        assert c.grid_done(0) and c.grid_done(1)
+
+    def test_counts_can_exceed_tmax(self):
+        c = Criterion2(2, tmax=1)
+        for _ in range(5):
+            c.record(0)
+        assert c.counts[0] == 5
+
+    def test_thread_safety(self):
+        c = Criterion2(4, tmax=1000)
+
+        def hammer(k):
+            for _ in range(1000):
+                c.record(k)
+
+        threads = [threading.Thread(target=hammer, args=(k,)) for k in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert np.all(c.counts == 1000)
+        assert c.all_done()
+
+    def test_flag_latches(self):
+        c = Criterion2(1, tmax=1)
+        c.record(0)
+        assert c.all_done()
+        c.record(0)
+        assert c.all_done()

@@ -1,0 +1,145 @@
+"""Unit tests for the sequential Algorithm-5 engine."""
+
+import numpy as np
+import pytest
+
+from repro.core import run_async_engine
+from repro.solvers import AFACx, Multadd
+
+
+@pytest.fixture(scope="module")
+def multadd(hier_7pt_agg):
+    return Multadd(hier_7pt_agg, smoother="jacobi", weight=0.9)
+
+
+class TestEngineBasics:
+    def test_local_lock_converges(self, multadd, b_7pt):
+        res = run_async_engine(multadd, b_7pt, tmax=20, seed=0)
+        assert res.rel_residual < 1e-3
+        assert not res.diverged
+
+    def test_criterion1_counts_exact(self, multadd, b_7pt):
+        res = run_async_engine(
+            multadd, b_7pt, tmax=9, criterion="criterion1", seed=0
+        )
+        assert np.all(res.counts == 9)
+
+    def test_criterion2_counts_at_least(self, multadd, b_7pt):
+        res = run_async_engine(
+            multadd, b_7pt, tmax=9, criterion="criterion2", seed=0, alpha=0.3
+        )
+        assert np.all(res.counts >= 9)
+        assert res.counts.max() > 9  # fast grids overshoot
+
+    def test_reproducible(self, multadd, b_7pt):
+        r1 = run_async_engine(multadd, b_7pt, tmax=10, seed=4)
+        r2 = run_async_engine(multadd, b_7pt, tmax=10, seed=4)
+        assert r1.rel_residual == r2.rel_residual
+
+    def test_seeds_differ(self, multadd, b_7pt):
+        r1 = run_async_engine(multadd, b_7pt, tmax=10, seed=1, alpha=0.2)
+        r2 = run_async_engine(multadd, b_7pt, tmax=10, seed=2, alpha=0.2)
+        assert r1.rel_residual != r2.rel_residual
+
+    def test_invalid_args(self, multadd, b_7pt):
+        with pytest.raises(ValueError):
+            run_async_engine(multadd, b_7pt, rescomp="psychic")
+        with pytest.raises(ValueError):
+            run_async_engine(multadd, b_7pt, write="wish")
+        with pytest.raises(ValueError):
+            run_async_engine(multadd, b_7pt, nchunks=0)
+
+
+class TestRescompModes:
+    @pytest.mark.parametrize("rescomp", ["local", "global", "rupdate"])
+    @pytest.mark.parametrize("write", ["lock", "atomic"])
+    def test_all_modes_run(self, multadd, b_7pt, rescomp, write):
+        res = run_async_engine(
+            multadd, b_7pt, tmax=10, rescomp=rescomp, write=write, seed=0, alpha=0.5
+        )
+        assert res.rel_residual < 1.0
+
+    def test_global_res_slower_than_local(self, multadd, b_7pt):
+        # The paper's central Section-IV observation.
+        rels_local, rels_global = [], []
+        for s in range(3):
+            rels_local.append(
+                run_async_engine(
+                    multadd, b_7pt, tmax=20, rescomp="local", seed=s, alpha=0.2
+                ).rel_residual
+            )
+            rels_global.append(
+                run_async_engine(
+                    multadd, b_7pt, tmax=20, rescomp="global", seed=s, alpha=0.2
+                ).rel_residual
+            )
+        assert np.mean(rels_local) < np.mean(rels_global)
+
+    def test_alpha_one_lock_local_matches_sync(self, multadd, b_7pt):
+        # Perfectly balanced speeds + lock + local-res: every grid does
+        # exactly tmax corrections from residuals that interleave, but
+        # with alpha=1 the scheduler is still random — so only check
+        # it reaches the synchronous ballpark.
+        res = run_async_engine(
+            multadd, b_7pt, tmax=20, alpha=1.0, seed=0
+        )
+        sync = multadd.solve(b_7pt, tmax=20)
+        assert res.rel_residual < 100 * sync.final_relres
+
+
+class TestCheckpoints:
+    def test_checkpoints_recorded(self, multadd, b_7pt):
+        res = run_async_engine(
+            multadd,
+            b_7pt,
+            tmax=20,
+            criterion="criterion2",
+            checkpoints=[5, 10, 20],
+            seed=0,
+        )
+        cps = [c[0] for c in res.checkpoint_results]
+        assert cps == [5, 10, 20]
+        rels = [c[1] for c in res.checkpoint_results]
+        assert rels[0] > rels[-1]  # converging
+
+    def test_checkpoints_need_criterion2(self, multadd, b_7pt):
+        with pytest.raises(ValueError):
+            run_async_engine(
+                multadd, b_7pt, tmax=10, criterion="criterion1", checkpoints=[5]
+            )
+
+    def test_checkpoint_corrects_monotone(self, multadd, b_7pt):
+        res = run_async_engine(
+            multadd,
+            b_7pt,
+            tmax=15,
+            criterion="criterion2",
+            checkpoints=[5, 10, 15],
+            seed=1,
+            alpha=0.5,
+        )
+        cors = [c[2] for c in res.checkpoint_results]
+        assert cors == sorted(cors)
+
+
+class TestAFACxEngine:
+    def test_afacx_async_converges(self, hier_7pt_agg, b_7pt):
+        af = AFACx(hier_7pt_agg, smoother="jacobi", weight=0.9)
+        res = run_async_engine(af, b_7pt, tmax=30, seed=0, alpha=0.5)
+        assert res.rel_residual < 1e-2
+
+
+class TestActivityTrace:
+    def test_spans_recorded_per_correction(self, multadd, b_7pt):
+        res = run_async_engine(multadd, b_7pt, tmax=5, seed=0)
+        assert len(res.activity_trace) == int(res.counts.sum())
+        for g, a, z in res.activity_trace:
+            assert 0 <= g < multadd.ngrids
+            assert a <= z
+
+    def test_renders_as_timeline(self, multadd, b_7pt):
+        from repro.utils import ascii_timeline
+
+        res = run_async_engine(multadd, b_7pt, tmax=4, seed=0, alpha=0.3)
+        out = ascii_timeline(res.activity_trace, multadd.ngrids)
+        assert out.count("grid") == multadd.ngrids

@@ -1,0 +1,79 @@
+"""Unit tests for repro.core.history."""
+
+import numpy as np
+import pytest
+
+from repro.core import VectorHistory
+
+
+class TestVectorHistory:
+    def test_initial_state(self):
+        h = VectorHistory(np.arange(4.0), depth=3)
+        assert np.array_equal(h.get(0), np.arange(4.0))
+        assert h.latest_instant == 0
+
+    def test_push_and_get(self):
+        h = VectorHistory(np.zeros(3), depth=3)
+        h.push(np.ones(3), 1)
+        h.push(2 * np.ones(3), 2)
+        assert np.array_equal(h.get(1), np.ones(3))
+        assert np.array_equal(h.get(2), 2 * np.ones(3))
+
+    def test_eviction(self):
+        h = VectorHistory(np.zeros(2), depth=2)
+        h.push(np.ones(2), 1)
+        h.push(2 * np.ones(2), 2)
+        with pytest.raises(KeyError, match="evicted"):
+            h.get(0)
+
+    def test_future_read_rejected(self):
+        h = VectorHistory(np.zeros(2), depth=2)
+        with pytest.raises(KeyError):
+            h.get(1)
+
+    def test_non_consecutive_push_rejected(self):
+        h = VectorHistory(np.zeros(2), depth=2)
+        with pytest.raises(ValueError, match="consecutive"):
+            h.push(np.ones(2), 3)
+
+    def test_gather_mixes_instants(self):
+        h = VectorHistory(np.zeros(4), depth=4)
+        h.push(np.full(4, 1.0), 1)
+        h.push(np.full(4, 2.0), 2)
+        out = h.gather(np.array([0, 1, 2, 1]))
+        assert np.array_equal(out, [0.0, 1.0, 2.0, 1.0])
+
+    def test_gather_requires_full_length(self):
+        h = VectorHistory(np.zeros(3), depth=2)
+        with pytest.raises(ValueError):
+            h.gather(np.array([0, 0]))
+
+    def test_gather_evicted_raises(self):
+        h = VectorHistory(np.zeros(2), depth=2)
+        h.push(np.ones(2), 1)
+        h.push(np.ones(2), 2)
+        with pytest.raises(KeyError):
+            h.gather(np.array([0, 2]))
+
+    def test_get_returns_copy(self):
+        h = VectorHistory(np.zeros(2), depth=2)
+        v = h.get(0)
+        v[:] = 9.0
+        assert np.array_equal(h.get(0), np.zeros(2))
+
+    def test_latest(self):
+        h = VectorHistory(np.zeros(2), depth=3)
+        h.push(np.full(2, 5.0), 1)
+        assert np.array_equal(h.latest(), [5.0, 5.0])
+
+    def test_depth_validation(self):
+        with pytest.raises(ValueError):
+            VectorHistory(np.zeros(2), depth=0)
+
+    def test_ring_wraparound_long_run(self):
+        h = VectorHistory(np.zeros(1), depth=3)
+        for t in range(1, 50):
+            h.push(np.array([float(t)]), t)
+            assert h.get(t)[0] == t
+            if t >= 2:
+                assert h.get(t - 2)[0] == t - 2

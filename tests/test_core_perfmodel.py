@@ -1,0 +1,116 @@
+"""Unit tests for the discrete-event machine model."""
+
+import numpy as np
+import pytest
+
+from repro.core import MachineParams, PerfModel
+from repro.solvers import Multadd, MultiplicativeMultigrid
+
+
+@pytest.fixture(scope="module")
+def solvers(hier_7pt_agg):
+    return (
+        MultiplicativeMultigrid(hier_7pt_agg, smoother="jacobi", weight=0.9),
+        Multadd(hier_7pt_agg, smoother="jacobi", weight=0.9),
+    )
+
+
+class TestMachineParams:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MachineParams(flop_rate=0)
+        with pytest.raises(ValueError):
+            MachineParams(jitter=-0.1)
+
+
+class TestBarrier:
+    def test_single_thread_free(self):
+        pm = PerfModel()
+        assert pm.barrier(1) == 0.0
+
+    def test_grows_with_threads(self):
+        pm = PerfModel()
+        assert pm.barrier(64) > pm.barrier(4) > 0
+
+
+class TestTimings:
+    def test_times_positive(self, solvers):
+        mult, madd = solvers
+        pm = PerfModel(MachineParams(jitter=0.0))
+        assert pm.time_mult(mult, 16, 10) > 0
+        assert pm.time_sync_additive(madd, 16, 10) > 0
+        t, counts = pm.time_async(madd, 16, 10)
+        assert t > 0 and np.all(counts >= 10)
+
+    def test_time_scales_with_cycles(self, solvers):
+        mult, _ = solvers
+        pm = PerfModel(MachineParams(jitter=0.0))
+        t10 = pm.time_mult(mult, 8, 10)
+        t20 = pm.time_mult(mult, 8, 20)
+        assert t20 == pytest.approx(2 * t10, rel=0.05)
+
+    def test_mult_fastest_at_one_thread(self, solvers):
+        # Fig 6 low-thread regime: Multadd's redundant work loses.
+        mult, madd = solvers
+        pm = PerfModel(MachineParams(jitter=0.0))
+        assert pm.time_mult(mult, 1, 20) < pm.time_sync_additive(madd, 1, 20)
+
+    def test_async_beats_mult_at_many_threads(self, solvers):
+        # Fig 6 high-thread regime: barrier costs sink Mult.
+        mult, madd = solvers
+        pm = PerfModel(MachineParams(jitter=0.0))
+        t_mult = pm.time_mult(mult, 272, 20)
+        t_async, _ = pm.time_async(madd, 272, 20)
+        assert t_async < t_mult
+
+    def test_crossover_exists(self, solvers):
+        mult, madd = solvers
+        pm = PerfModel(MachineParams(jitter=0.0))
+        wins = []
+        for T in (1, 2, 4, 8, 16, 32, 64, 128, 272):
+            t_mult = pm.time_mult(mult, T, 20)
+            t_async, _ = pm.time_async(madd, T, 20)
+            wins.append(t_async < t_mult)
+        assert not wins[0] and wins[-1]
+
+    def test_atomic_slower_than_lock(self, solvers):
+        # Table I: atomic-write generally loses to lock-write.
+        _, madd = solvers
+        pm = PerfModel(MachineParams(jitter=0.0))
+        t_lock, _ = pm.time_async(madd, 64, 20, write="lock")
+        t_atomic, _ = pm.time_async(madd, 64, 20, write="atomic")
+        assert t_lock < t_atomic
+
+    def test_criterion2_overshoots(self, solvers):
+        _, madd = solvers
+        pm = PerfModel(MachineParams(jitter=0.3, seed=1))
+        _, c1 = pm.time_async(madd, 64, 20, criterion="criterion1")
+        _, c2 = pm.time_async(madd, 64, 20, criterion="criterion2")
+        assert c2.mean() >= c1.mean()
+
+    def test_jitter_changes_times(self, solvers):
+        _, madd = solvers
+        t1, _ = PerfModel(MachineParams(jitter=0.3, seed=1)).time_async(madd, 16, 10)
+        t2, _ = PerfModel(MachineParams(jitter=0.3, seed=2)).time_async(madd, 16, 10)
+        assert t1 != t2
+
+    def test_unknown_write_raises(self, solvers):
+        _, madd = solvers
+        pm = PerfModel()
+        with pytest.raises(ValueError):
+            pm.time_async(madd, 8, 5, write="psychic")
+
+    def test_unknown_criterion_raises(self, solvers):
+        _, madd = solvers
+        with pytest.raises(ValueError):
+            PerfModel().time_async(madd, 8, 5, criterion="criterion3")
+
+    def test_global_res_cheaper_per_correction_than_local(self, solvers):
+        # The paper: global-res needs *less computation* per thread (it
+        # refreshes only its own rows of the shared residual).  Null
+        # out the fixed lock cost so the comparison isolates compute.
+        _, madd = solvers
+        pm = PerfModel(MachineParams(jitter=0.0, lock_cost=0.0))
+        t_local, _ = pm.time_async(madd, 64, 20, rescomp="local")
+        t_global, _ = pm.time_async(madd, 64, 20, rescomp="global")
+        assert t_global < t_local

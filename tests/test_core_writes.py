@@ -1,0 +1,87 @@
+"""Unit tests for write policies (Section IV race handling)."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core import AtomicWrite, LockWrite, UnsafeWrite, make_write_policy
+
+
+@pytest.mark.parametrize("policy_name", ["lock", "atomic", "unsafe"])
+class TestBasicSemantics:
+    def test_add(self, policy_name):
+        pol = make_write_policy(policy_name, 10)
+        target = np.zeros(10)
+        pol.add(target, np.arange(10.0))
+        assert np.array_equal(target, np.arange(10.0))
+
+    def test_assign_slice(self, policy_name):
+        pol = make_write_policy(policy_name, 10)
+        target = np.zeros(10)
+        pol.assign_slice(target, 3, 7, np.full(4, 2.0))
+        assert np.array_equal(target[3:7], np.full(4, 2.0))
+        assert np.array_equal(target[:3], np.zeros(3))
+
+    def test_read_copy(self, policy_name):
+        pol = make_write_policy(policy_name, 5)
+        src = np.arange(5.0)
+        out = pol.read(src)
+        out[:] = -1
+        assert np.array_equal(src, np.arange(5.0))
+
+
+class TestConcurrency:
+    @pytest.mark.parametrize("policy_name", ["lock", "atomic"])
+    def test_no_lost_updates(self, policy_name):
+        # Many concurrent adders: a correct policy loses nothing.
+        n = 2048
+        pol = make_write_policy(policy_name, n)
+        target = np.zeros(n)
+        nthreads, reps = 8, 50
+
+        def adder():
+            for _ in range(reps):
+                pol.add(target, np.ones(n))
+
+        threads = [threading.Thread(target=adder) for _ in range(nthreads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert np.all(target == nthreads * reps)
+
+
+class TestAtomicWrite:
+    def test_stripe_count(self):
+        pol = AtomicWrite(1000, stripe=256)
+        assert pol.nstripes == 4
+
+    def test_stripe_ranges_cover(self):
+        pol = AtomicWrite(1000, stripe=300)
+        spans = list(pol._ranges())
+        assert spans[0][1] == 0
+        assert spans[-1][2] == 1000
+        total = sum(b - a for _, a, b in spans)
+        assert total == 1000
+
+    def test_partial_slice_ranges(self):
+        pol = AtomicWrite(1000, stripe=100)
+        spans = list(pol._ranges(250, 450))
+        covered = sorted((a, b) for _, a, b in spans)
+        assert covered[0][0] == 250 and covered[-1][1] == 450
+
+    def test_invalid_stripe(self):
+        with pytest.raises(ValueError):
+            AtomicWrite(10, stripe=0)
+
+
+class TestRegistry:
+    def test_unknown(self):
+        with pytest.raises(KeyError):
+            make_write_policy("transactional", 10)
+
+    def test_names(self):
+        assert LockWrite(4).name == "lock"
+        assert AtomicWrite(4).name == "atomic"
+        assert UnsafeWrite(4).name == "unsafe"

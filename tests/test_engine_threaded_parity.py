@@ -1,0 +1,80 @@
+"""Parity tests: the sequential engine and the threaded executor must
+be two implementations of the *same* Algorithm 5.
+
+Exact trajectories differ (that is the point of asynchrony), but the
+semantic contracts must agree: same correction counting under both
+criteria, same convergence class per (rescomp, write) cell, and the
+global-res staleness pathology must appear in both backends.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import run_async_engine, run_threaded
+from repro.solvers import Multadd
+
+
+@pytest.fixture(scope="module")
+def multadd(hier_27pt):
+    return Multadd(hier_27pt, smoother="jacobi", weight=0.9)
+
+
+@pytest.fixture(scope="module")
+def b_27(A_27pt):
+    from repro.problems import random_rhs
+
+    return random_rhs(A_27pt.shape[0], seed=11)
+
+
+class TestCountingParity:
+    @pytest.mark.parametrize("tmax", [3, 8])
+    def test_criterion1_counts_identical(self, multadd, b_27, tmax):
+        eng = run_async_engine(
+            multadd, b_27, tmax=tmax, criterion="criterion1", seed=0
+        )
+        thr = run_threaded(multadd, b_27, tmax=tmax, criterion="criterion1")
+        assert np.array_equal(eng.counts, thr.counts)
+
+    def test_criterion2_minimum_identical(self, multadd, b_27):
+        eng = run_async_engine(
+            multadd, b_27, tmax=6, criterion="criterion2", seed=0
+        )
+        thr = run_threaded(multadd, b_27, tmax=6, criterion="criterion2")
+        assert eng.counts.min() >= 6
+        assert thr.counts.min() >= 6
+
+
+class TestConvergenceClassParity:
+    @pytest.mark.parametrize("rescomp", ["local", "rupdate"])
+    def test_robust_modes_converge_in_both(self, multadd, b_27, rescomp):
+        eng = run_async_engine(
+            multadd, b_27, tmax=20, rescomp=rescomp, seed=0, alpha=0.5
+        )
+        thr = run_threaded(multadd, b_27, tmax=20, rescomp=rescomp)
+        assert eng.rel_residual < 1e-2
+        assert thr.rel_residual < 1e-2
+
+    def test_global_res_degraded_in_both(self, multadd, b_27):
+        # Both backends must show global-res lagging local-res.
+        eng_l = run_async_engine(
+            multadd, b_27, tmax=20, rescomp="local", seed=0, alpha=0.3
+        ).rel_residual
+        eng_g = run_async_engine(
+            multadd, b_27, tmax=20, rescomp="global", seed=0, alpha=0.3
+        ).rel_residual
+        thr_l = run_threaded(multadd, b_27, tmax=20, rescomp="local").rel_residual
+        thr_g = run_threaded(multadd, b_27, tmax=20, rescomp="global").rel_residual
+        assert eng_l < eng_g
+        assert thr_l < thr_g
+
+    def test_final_iterate_solves_same_system(self, multadd, b_27, A_27pt):
+        # Both backends converge to the same solution (not merely the
+        # same residual norm).
+        import scipy.sparse.linalg as spla
+
+        x_star = spla.spsolve(A_27pt.tocsc(), b_27)
+        eng = run_async_engine(multadd, b_27, tmax=40, seed=0, alpha=0.7)
+        thr = run_threaded(multadd, b_27, tmax=40, criterion="criterion2")
+        scale = np.abs(x_star).max()
+        assert np.abs(eng.x - x_star).max() < 1e-3 * scale
+        assert np.abs(thr.x - x_star).max() < 1e-3 * scale

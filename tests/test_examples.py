@@ -1,0 +1,66 @@
+"""Smoke tests: every shipped example must run end to end.
+
+Examples are loaded as modules and their ``main()`` run with a small
+size argument, so breakage in the public API surfaces here.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def _run_example(name: str, argv: list) -> None:
+    path = EXAMPLES / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"example_{name}", path)
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    old = sys.argv
+    sys.argv = [str(path)] + argv
+    try:
+        mod.main()
+    finally:
+        sys.argv = old
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        _run_example("quickstart", ["8"])
+        out = capsys.readouterr().out
+        assert "async Multadd" in out
+
+    def test_async_model_study(self, capsys):
+        _run_example("async_model_study", ["8"])
+        out = capsys.readouterr().out
+        assert "semi-async" in out
+        assert "full-async" in out
+
+    def test_elasticity_beam(self, capsys):
+        _run_example("elasticity_beam", ["6"])
+        out = capsys.readouterr().out
+        assert "Elasticity" in out
+
+    def test_smoother_shootout(self, capsys):
+        _run_example("smoother_shootout", ["8"])
+        out = capsys.readouterr().out
+        assert "async GS" in out
+        assert "Chebyshev" in out
+
+    def test_scaling_study(self, capsys):
+        _run_example("scaling_study", ["7pt", "8"])
+        out = capsys.readouterr().out
+        assert "modeled wall-clock" in out or "failed to converge" in out
+
+    def test_distributed_latency(self, capsys):
+        _run_example("distributed_latency", ["8"])
+        out = capsys.readouterr().out
+        assert "distributed-latency study" in out
+
+    def test_residual_vs_time(self, capsys):
+        _run_example("residual_vs_time", ["8"])
+        out = capsys.readouterr().out
+        assert "threaded local-res" in out
+        assert "per-grid compute intervals" in out

@@ -1,0 +1,180 @@
+"""Unit tests for repro.problems.fem.assembly.
+
+The load-bearing checks are the patch tests: P1 elements must reproduce
+linear fields exactly, so the stiffness matrix must annihilate linear
+functions in the interior (Laplace) and rigid-body modes (elasticity).
+"""
+
+import numpy as np
+import pytest
+
+from repro.problems.fem.assembly import (
+    assemble_scalar_stiffness,
+    assemble_vector_stiffness,
+    eliminate_dirichlet,
+    p1_gradients,
+)
+from repro.problems.fem.mesh import beam_mesh, cube_mesh
+
+
+class TestP1Gradients:
+    def test_partition_of_unity(self):
+        m = cube_mesh(2)
+        grads, _ = p1_gradients(m)
+        # Gradients of the four barycentric coords sum to zero.
+        assert np.allclose(grads.sum(axis=1), 0.0)
+
+    def test_linear_reproduction(self):
+        m = cube_mesh(2)
+        grads, _ = p1_gradients(m)
+        # For u(x) = a.x, nodal interpolation is exact: the element
+        # gradient sum_a u(p_a) grad_a must equal a.
+        a = np.array([1.0, -2.0, 0.5])
+        u = m.nodes @ a
+        per_elem = np.einsum("ea,eax->ex", u[m.tets], grads)
+        assert np.allclose(per_elem, a)
+
+    def test_volumes_positive(self):
+        m = cube_mesh(3)
+        _, vols = p1_gradients(m)
+        assert np.all(vols > 0)
+
+
+class TestScalarStiffness:
+    def test_symmetry(self):
+        m = cube_mesh(3)
+        A = assemble_scalar_stiffness(m)
+        assert abs(A - A.T).max() < 1e-13
+
+    def test_annihilates_constants(self):
+        m = cube_mesh(3)
+        A = assemble_scalar_stiffness(m)
+        assert np.abs(A @ np.ones(m.n_nodes)).max() < 1e-12
+
+    def test_patch_test_linear(self):
+        # Full stiffness applied to a linear field is zero at interior
+        # nodes (Galerkin orthogonality for P1-exact fields).
+        m = cube_mesh(3)
+        A = assemble_scalar_stiffness(m)
+        u = m.nodes @ np.array([1.0, 2.0, 3.0])
+        res = A @ u
+        assert np.abs(res[m.interior_nodes()]).max() < 1e-12
+
+    def test_spd_after_elimination(self):
+        m = cube_mesh(3)
+        A_full = assemble_scalar_stiffness(m)
+        A, _ = eliminate_dirichlet(A_full, m.boundary_nodes)
+        w = np.linalg.eigvalsh(A.toarray())
+        assert w.min() > 0
+
+    def test_kappa_scales(self):
+        m = cube_mesh(2)
+        A1 = assemble_scalar_stiffness(m, kappa=1.0)
+        A2 = assemble_scalar_stiffness(m, kappa=2.0)
+        assert abs(A2 - 2 * A1).max() < 1e-13
+
+    def test_per_element_kappa(self):
+        m = cube_mesh(2)
+        kap = np.ones(m.n_tets)
+        A1 = assemble_scalar_stiffness(m, kappa=kap)
+        A2 = assemble_scalar_stiffness(m, kappa=1.0)
+        assert abs(A1 - A2).max() == 0.0
+
+
+class TestVectorStiffness:
+    def test_symmetry(self):
+        m = beam_mesh(3, 2, 2)
+        A = assemble_vector_stiffness(m)
+        assert abs(A - A.T).max() < 1e-12
+
+    def test_annihilates_translations(self):
+        m = beam_mesh(3, 2, 2)
+        A = assemble_vector_stiffness(m)
+        for c in range(3):
+            u = np.zeros(3 * m.n_nodes)
+            u[c::3] = 1.0
+            assert np.abs(A @ u).max() < 1e-11
+
+    def test_annihilates_rotations(self):
+        # Infinitesimal rigid rotations are in the elasticity kernel.
+        m = beam_mesh(3, 2, 2)
+        A = assemble_vector_stiffness(m)
+        x = m.nodes
+        rot = np.zeros((m.n_nodes, 3))
+        rot[:, 0] = -x[:, 1]
+        rot[:, 1] = x[:, 0]  # rotation about z
+        u = rot.ravel()
+        assert np.abs(A @ u).max() < 1e-10
+
+    def test_spd_after_clamping(self):
+        m = beam_mesh(3, 2, 2)
+        A_full = assemble_vector_stiffness(m)
+        dofs = (3 * m.boundary_nodes[:, None] + np.arange(3)).ravel()
+        A, _ = eliminate_dirichlet(A_full, dofs)
+        w = np.linalg.eigvalsh(A.toarray())
+        assert w.min() > 0
+
+    def test_bad_poisson_raises(self):
+        m = beam_mesh(2, 2, 2)
+        with pytest.raises(ValueError, match="Poisson"):
+            assemble_vector_stiffness(m, poisson=0.5)
+
+    def test_stiffer_material_stiffer_matrix(self):
+        m = beam_mesh(3, 2, 2)
+        A1 = assemble_vector_stiffness(m, youngs=1.0)
+        A10 = assemble_vector_stiffness(m, youngs=10.0)
+        assert abs(A10 - 10 * A1).max() < 1e-10
+
+
+class TestEliminateDirichlet:
+    def test_free_indices(self):
+        m = cube_mesh(2)
+        A_full = assemble_scalar_stiffness(m)
+        A, free = eliminate_dirichlet(A_full, m.boundary_nodes)
+        assert A.shape[0] == free.size == m.interior_nodes().size
+        assert not np.intersect1d(free, m.boundary_nodes).size
+
+    def test_out_of_range_raises(self):
+        m = cube_mesh(2)
+        A_full = assemble_scalar_stiffness(m)
+        with pytest.raises(ValueError):
+            eliminate_dirichlet(A_full, np.array([m.n_nodes + 5]))
+
+    def test_all_constrained_raises(self):
+        m = cube_mesh(2)
+        A_full = assemble_scalar_stiffness(m)
+        with pytest.raises(ValueError):
+            eliminate_dirichlet(A_full, np.arange(m.n_nodes))
+
+
+class TestManufacturedSolution:
+    def test_poisson_convergence(self):
+        # -lap u = 3 pi^2 sin(pi x)sin(pi y)sin(pi z) on the unit cube;
+        # FEM solution must approach the exact one as the mesh refines.
+        errors = []
+        for n in (4, 8):
+            m = cube_mesh(n)
+            A_full = assemble_scalar_stiffness(m)
+            # P1 load vector via mass-lumped quadrature (exact enough
+            # for a convergence *ratio* check).
+            f = (
+                3
+                * np.pi**2
+                * np.sin(np.pi * m.nodes[:, 0])
+                * np.sin(np.pi * m.nodes[:, 1])
+                * np.sin(np.pi * m.nodes[:, 2])
+            )
+            vols = m.volumes()
+            lump = np.zeros(m.n_nodes)
+            np.add.at(lump, m.tets.ravel(), np.repeat(vols / 4.0, 4))
+            rhs = lump * f
+            A, free = eliminate_dirichlet(A_full, m.boundary_nodes)
+            u = np.zeros(m.n_nodes)
+            u[free] = np.linalg.solve(A.toarray(), rhs[free])
+            exact = (
+                np.sin(np.pi * m.nodes[:, 0])
+                * np.sin(np.pi * m.nodes[:, 1])
+                * np.sin(np.pi * m.nodes[:, 2])
+            )
+            errors.append(np.abs(u - exact).max())
+        assert errors[1] < 0.5 * errors[0]  # roughly O(h^2) -> 4x

@@ -1,0 +1,103 @@
+"""Unit tests for repro.problems.fem.mesh."""
+
+import numpy as np
+import pytest
+
+from repro.problems.fem.mesh import TetMesh, ball_mesh, beam_mesh, cube_mesh
+
+
+class TestCubeMesh:
+    def test_counts(self):
+        m = cube_mesh(2)
+        assert m.n_nodes == 27
+        assert m.n_tets == 6 * 8
+
+    def test_volumes_positive_and_sum_to_cube(self):
+        m = cube_mesh(3, extent=2.0)
+        v = m.volumes()
+        assert np.all(v > 0)
+        assert v.sum() == pytest.approx(8.0)
+
+    def test_boundary_nodes_on_surface(self):
+        m = cube_mesh(3)
+        for i in m.boundary_nodes:
+            p = m.nodes[i]
+            assert np.isclose(p, 0.0).any() or np.isclose(p, 1.0).any()
+
+    def test_interior_nodes_complement(self):
+        m = cube_mesh(3)
+        interior = m.interior_nodes()
+        assert len(interior) + len(m.boundary_nodes) == m.n_nodes
+        assert len(interior) == (3 - 1) ** 3
+
+    def test_conforming_no_orphan_nodes(self):
+        m = cube_mesh(2)
+        assert np.array_equal(np.unique(m.tets), np.arange(m.n_nodes))
+
+
+class TestBallMesh:
+    def test_inside_sphere(self):
+        m = ball_mesh(8, radius=1.0)
+        centroids = m.nodes[m.tets].mean(axis=1)
+        assert np.all(np.linalg.norm(centroids, axis=1) <= 1.0 + 1e-12)
+
+    def test_volume_approaches_sphere(self):
+        m = ball_mesh(16, radius=1.0)
+        vol = m.volumes().sum()
+        sphere = 4.0 / 3.0 * np.pi
+        assert abs(vol - sphere) / sphere < 0.15
+
+    def test_interior_nonempty(self):
+        m = ball_mesh(8)
+        assert m.interior_nodes().size > 0
+
+    def test_too_coarse_raises(self):
+        with pytest.raises(ValueError):
+            ball_mesh(2)
+
+    def test_nodes_compressed(self):
+        m = ball_mesh(6)
+        assert np.array_equal(np.unique(m.tets), np.arange(m.n_nodes))
+
+
+class TestBeamMesh:
+    def test_clamped_face_only(self):
+        m = beam_mesh(6, 2, 2)
+        assert np.allclose(m.nodes[m.boundary_nodes, 0], 0.0)
+
+    def test_materials_split_along_x(self):
+        m = beam_mesh(8, 2, 2, n_materials=2, length=8.0)
+        centroids = m.nodes[m.tets].mean(axis=1)
+        left = m.material[centroids[:, 0] < 3.9]
+        right = m.material[centroids[:, 0] > 4.1]
+        assert np.all(left == 0)
+        assert np.all(right == 1)
+
+    def test_material_count(self):
+        m = beam_mesh(9, 2, 2, n_materials=3)
+        assert set(np.unique(m.material)) == {0, 1, 2}
+
+    def test_invalid_materials(self):
+        with pytest.raises(ValueError):
+            beam_mesh(4, 2, 2, n_materials=0)
+
+
+class TestTetMeshValidation:
+    def test_shape_checks(self):
+        with pytest.raises(ValueError):
+            TetMesh(np.zeros((3, 2)), np.zeros((1, 4), dtype=int), np.array([]))
+        with pytest.raises(ValueError):
+            TetMesh(np.zeros((3, 3)), np.zeros((1, 3), dtype=int), np.array([]))
+
+    def test_default_material(self):
+        m = cube_mesh(2)
+        assert np.all(m.material == 0)
+
+    def test_material_length_check(self):
+        with pytest.raises(ValueError):
+            TetMesh(
+                np.zeros((4, 3)),
+                np.array([[0, 1, 2, 3]]),
+                np.array([]),
+                material=np.array([0, 1]),
+            )

@@ -1,0 +1,183 @@
+"""Cross-module integration tests: full pipelines end to end.
+
+Each test runs a complete paper workflow — problem generation, AMG
+setup, solver construction, (a)synchronous execution, measurement —
+on scaled-down sizes, checking the qualitative findings the paper
+reports.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    AFACx,
+    Multadd,
+    MultiplicativeMultigrid,
+    SetupOptions,
+    build_problem,
+    setup_hierarchy,
+)
+from repro.core import (
+    MachineParams,
+    PerfModel,
+    ScheduleParams,
+    run_async_engine,
+    run_threaded,
+    simulate_semi_async,
+)
+from repro.experiments import TABLE1_METHODS, table1_entry
+
+
+class TestPaperFindings:
+    """Scaled-down versions of the paper's headline claims."""
+
+    def test_grid_size_independent_convergence_async(self):
+        """Fig 4: async Multadd relres after 20 cycles is ~flat in n."""
+        rels = []
+        for size in (10, 14):  # both multi-level hierarchies
+            p = build_problem("7pt", size, rhs_seed=1)
+            h = setup_hierarchy(p.A, SetupOptions(aggressive_levels=1))
+            ma = Multadd(h, smoother="jacobi", weight=0.9)
+            vals = [
+                run_async_engine(
+                    ma, p.b, tmax=20, seed=s, alpha=0.5
+                ).rel_residual
+                for s in range(2)
+            ]
+            rels.append(np.mean(vals))
+        # Flatness: residual does not degrade by more than ~an order
+        # of magnitude as the grid grows.
+        assert rels[-1] < rels[0] * 10
+        assert all(r < 1e-2 for r in rels)
+
+    def test_local_res_beats_global_res(self):
+        """Fig 4/5: local-res converges faster than global-res."""
+        p = build_problem("27pt", 8, rhs_seed=2)
+        h = setup_hierarchy(p.A, SetupOptions(aggressive_levels=1))
+        ma = Multadd(h, smoother="jacobi", weight=0.9)
+        loc = np.mean(
+            [
+                run_async_engine(
+                    ma, p.b, tmax=20, rescomp="local", seed=s, alpha=0.3
+                ).rel_residual
+                for s in range(3)
+            ]
+        )
+        glo = np.mean(
+            [
+                run_async_engine(
+                    ma, p.b, tmax=20, rescomp="global", seed=s, alpha=0.3
+                ).rel_residual
+                for s in range(3)
+            ]
+        )
+        assert loc < glo
+
+    def test_async_gs_best_smoother(self):
+        """Table I: async GS needs the fewest V-cycles.
+
+        Compare smoothers by relres after a fixed cycle budget on the
+        synchronous solver (the paper's V-cycle ordering).
+        """
+        p = build_problem("7pt", 8, rhs_seed=3)
+        h = setup_hierarchy(p.A, SetupOptions(aggressive_levels=1))
+        rel = {}
+        for smoother, kw in [
+            ("l1_jacobi", {}),
+            ("async_gs", {"nblocks": 4, "lambda_mode": "sweep"}),
+        ]:
+            ma = Multadd(h, smoother=smoother, **kw)
+            rel[smoother] = ma.solve(p.b, tmax=15).final_relres
+        assert rel["async_gs"] < rel["l1_jacobi"]
+
+    def test_fig6_crossover(self):
+        """Fig 6: Mult wins at few threads, async Multadd at many."""
+        p = build_problem("7pt", 10, rhs_seed=4)
+        h = setup_hierarchy(p.A, SetupOptions(aggressive_levels=1))
+        mult = MultiplicativeMultigrid(h, smoother="jacobi", weight=0.9)
+        ma = Multadd(h, smoother="jacobi", weight=0.9)
+        pm = PerfModel(MachineParams(jitter=0.0))
+        t_mult_1 = pm.time_mult(mult, 1, 20)
+        t_async_1, _ = pm.time_async(ma, 1, 20)
+        t_mult_272 = pm.time_mult(mult, 272, 20)
+        t_async_272, _ = pm.time_async(ma, 272, 20)
+        assert t_mult_1 < t_async_1
+        assert t_async_272 < t_mult_272
+
+    def test_multadd_beats_afacx_cycles(self):
+        """Table I: Multadd needs fewer V-cycles than AFACx."""
+        p = build_problem("7pt", 8, rhs_seed=5)
+        h = setup_hierarchy(p.A, SetupOptions(aggressive_levels=1))
+        ma = Multadd(h, smoother="jacobi", weight=0.9).solve(p.b, 20).final_relres
+        af = AFACx(h, smoother="jacobi", weight=0.9).solve(p.b, 20).final_relres
+        assert ma < af
+
+    def test_semi_async_alpha_ladder(self):
+        """Fig 1: decreasing alpha slows but does not break convergence."""
+        p = build_problem("27pt", 7, rhs_seed=6)
+        h = setup_hierarchy(p.A, SetupOptions(aggressive_levels=1))
+        ma = Multadd(h, smoother="jacobi", weight=0.9)
+        rels = []
+        for alpha in (0.9, 0.5, 0.1):
+            vals = [
+                simulate_semi_async(
+                    ma, p.b, ScheduleParams(alpha=alpha, delta=0, seed=s)
+                ).rel_residual
+                for s in range(3)
+            ]
+            rels.append(np.mean(vals))
+        assert rels[0] <= rels[-1]
+        assert rels[-1] < 1e-2
+
+
+class TestFullPipelines:
+    def test_table1_entry_pipeline_all_methods(self):
+        """Every Table-I method spec produces a sane entry."""
+        p = build_problem("7pt", 7, rhs_seed=0)
+        h = setup_hierarchy(p.A, SetupOptions(aggressive_levels=1))
+        for spec in TABLE1_METHODS:
+            e = table1_entry(
+                spec,
+                h,
+                p.b,
+                "jacobi",
+                nthreads=68,
+                tol=1e-5,
+                runs=1,
+                max_cycles=150,
+                alpha=0.7,
+                weight=0.9,
+            )
+            if not e.diverged:
+                assert e.time > 0
+                assert e.corrects >= e.vcycles - 1e-9
+
+    def test_elasticity_pipeline(self):
+        from repro.experiments import paper_hierarchy
+
+        p = build_problem("mfem_elasticity", 6, rhs_seed=0)
+        h = paper_hierarchy("mfem_elasticity", p.A)
+        assert h.levels[0].functions is not None  # systems AMG in effect
+        ma = Multadd(h, smoother="jacobi", weight=0.5)
+        res = run_async_engine(ma, p.b, tmax=15, seed=0, alpha=0.5)
+        assert np.isfinite(res.rel_residual)
+        assert res.rel_residual < 1.0
+
+    def test_fem_laplace_pipeline_threaded(self):
+        p = build_problem("mfem_laplace", 8, rhs_seed=0)
+        h = setup_hierarchy(p.A, SetupOptions(aggressive_levels=0))
+        ma = Multadd(h, smoother="jacobi", weight=0.5)
+        res = run_threaded(ma, p.b, tmax=15, criterion="criterion2")
+        assert res.rel_residual < 0.5
+        assert not res.errors
+
+    def test_public_api_quickstart(self):
+        """The README quickstart must work verbatim."""
+        from repro import build_problem, setup_hierarchy, SetupOptions, Multadd
+        from repro.core import run_async_engine
+
+        p = build_problem("7pt", 12)
+        h = setup_hierarchy(p.A, SetupOptions(aggressive_levels=1))
+        solver = Multadd(h, smoother="jacobi", weight=0.9)
+        result = run_async_engine(solver, p.b, tmax=20)
+        assert result.rel_residual < 1e-3

@@ -1,0 +1,115 @@
+"""Unit tests for serialization (repro.io)."""
+
+import numpy as np
+import pytest
+
+from repro.io import (
+    load_hierarchy,
+    load_problem,
+    read_matrix_market,
+    save_hierarchy,
+    save_problem,
+    write_matrix_market,
+)
+from repro.problems import build_problem
+from repro.solvers import Multadd
+
+
+class TestProblemRoundtrip:
+    def test_roundtrip(self, tmp_path):
+        p = build_problem("7pt", 6, rhs_seed=3)
+        f = tmp_path / "p.npz"
+        save_problem(f, p)
+        q = load_problem(f)
+        assert q.name == p.name
+        assert q.size_param == p.size_param
+        assert q.jacobi_weight == p.jacobi_weight
+        assert np.array_equal(q.b, p.b)
+        assert (q.A != p.A).nnz == 0
+
+    def test_wrong_kind_rejected(self, tmp_path, hier_7pt):
+        f = tmp_path / "h.npz"
+        save_hierarchy(f, hier_7pt)
+        with pytest.raises(ValueError, match="problem"):
+            load_problem(f)
+
+
+class TestHierarchyRoundtrip:
+    def test_roundtrip_structure(self, tmp_path, hier_7pt):
+        f = tmp_path / "h.npz"
+        save_hierarchy(f, hier_7pt)
+        h2 = load_hierarchy(f)
+        assert h2.nlevels == hier_7pt.nlevels
+        for a, b in zip(h2.levels, hier_7pt.levels):
+            assert (a.A != b.A).nnz == 0
+            if b.P is not None:
+                assert (a.P != b.P).nnz == 0
+                assert np.array_equal(a.splitting, b.splitting)
+
+    def test_options_preserved(self, tmp_path, hier_7pt_agg):
+        f = tmp_path / "h.npz"
+        save_hierarchy(f, hier_7pt_agg)
+        h2 = load_hierarchy(f)
+        assert h2.options.aggressive_levels == hier_7pt_agg.options.aggressive_levels
+        assert h2.options.coarsen_type == hier_7pt_agg.options.coarsen_type
+
+    def test_loaded_hierarchy_solves(self, tmp_path, hier_7pt_agg, b_7pt):
+        f = tmp_path / "h.npz"
+        save_hierarchy(f, hier_7pt_agg)
+        h2 = load_hierarchy(f)
+        ma1 = Multadd(hier_7pt_agg, smoother="jacobi", weight=0.9)
+        ma2 = Multadd(h2, smoother="jacobi", weight=0.9)
+        r1 = ma1.solve(b_7pt, tmax=10).final_relres
+        r2 = ma2.solve(b_7pt, tmax=10).final_relres
+        assert r1 == pytest.approx(r2, rel=1e-12)
+
+    def test_functions_preserved(self, tmp_path):
+        from repro.experiments import paper_hierarchy
+
+        p = build_problem("mfem_elasticity", 5, rhs_seed=0)
+        h = paper_hierarchy("mfem_elasticity", p.A)
+        f = tmp_path / "h.npz"
+        save_hierarchy(f, h)
+        h2 = load_hierarchy(f)
+        assert h2.levels[0].functions is not None
+        assert np.array_equal(h2.levels[0].functions, h.levels[0].functions)
+
+    def test_wrong_kind_rejected(self, tmp_path):
+        p = build_problem("7pt", 5)
+        f = tmp_path / "p.npz"
+        save_problem(f, p)
+        with pytest.raises(ValueError, match="hierarchy"):
+            load_hierarchy(f)
+
+
+class TestMatrixMarket:
+    def test_roundtrip(self, tmp_path, A_7pt):
+        f = tmp_path / "a.mtx"
+        write_matrix_market(f, A_7pt, comment="7pt test matrix")
+        B = read_matrix_market(f)
+        assert abs(A_7pt - B).max() < 1e-15
+
+    def test_comment_written(self, tmp_path, A_1d):
+        f = tmp_path / "a.mtx"
+        write_matrix_market(f, A_1d, comment="hello\nworld")
+        text = f.read_text()
+        assert "% hello" in text and "% world" in text
+
+    def test_symmetric_read(self, tmp_path):
+        # Hand-written symmetric file: lower triangle only.
+        f = tmp_path / "s.mtx"
+        f.write_text(
+            "%%MatrixMarket matrix coordinate real symmetric\n"
+            "2 2 3\n"
+            "1 1 2.0\n"
+            "2 1 -1.0\n"
+            "2 2 2.0\n"
+        )
+        M = read_matrix_market(f).toarray()
+        assert np.allclose(M, [[2.0, -1.0], [-1.0, 2.0]])
+
+    def test_bad_header_rejected(self, tmp_path):
+        f = tmp_path / "bad.mtx"
+        f.write_text("%%MatrixMarket matrix array real general\n1 1\n1.0\n")
+        with pytest.raises(ValueError, match="unsupported"):
+            read_matrix_market(f)

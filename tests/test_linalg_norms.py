@@ -1,0 +1,54 @@
+"""Unit tests for repro.linalg.norms."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.linalg import a_norm, rel_residual_norm, two_norm
+
+
+class TestTwoNorm:
+    def test_basic(self):
+        assert two_norm(np.array([3.0, 4.0])) == pytest.approx(5.0)
+
+    def test_zero(self):
+        assert two_norm(np.zeros(5)) == 0.0
+
+    def test_returns_python_float(self):
+        assert isinstance(two_norm(np.ones(3)), float)
+
+
+class TestANorm:
+    def test_identity_reduces_to_two_norm(self):
+        v = np.array([3.0, 4.0])
+        assert a_norm(sp.identity(2, format="csr"), v) == pytest.approx(5.0)
+
+    def test_spd_value(self, A_1d):
+        v = np.ones(A_1d.shape[0])
+        expected = np.sqrt(v @ (A_1d @ v))
+        assert a_norm(A_1d, v) == pytest.approx(expected)
+
+    def test_indefinite_raises(self):
+        M = sp.csr_matrix(np.diag([1.0, -1.0]))
+        with pytest.raises(ValueError, match="SPD"):
+            a_norm(M, np.array([0.0, 1.0]))
+
+    def test_tiny_negative_roundoff_clamped(self):
+        M = sp.csr_matrix(np.diag([1.0, 0.0]))
+        assert a_norm(M, np.array([0.0, 1.0])) == 0.0
+
+
+class TestRelResidualNorm:
+    def test_zero_at_solution(self, A_1d):
+        x = np.linspace(0, 1, A_1d.shape[0])
+        b = A_1d @ x
+        assert rel_residual_norm(A_1d, x, b) == pytest.approx(0.0, abs=1e-14)
+
+    def test_one_at_zero_guess(self, A_1d):
+        b = np.ones(A_1d.shape[0])
+        assert rel_residual_norm(A_1d, np.zeros_like(b), b) == pytest.approx(1.0)
+
+    def test_zero_rhs_absolute_fallback(self, A_1d):
+        x = np.ones(A_1d.shape[0])
+        val = rel_residual_norm(A_1d, x, np.zeros_like(x))
+        assert val == pytest.approx(two_norm(A_1d @ x))

@@ -1,0 +1,75 @@
+"""Unit tests for repro.linalg.spectral."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.linalg import (
+    abs_iteration_matrix_rho,
+    estimate_rho,
+    is_async_convergent,
+    jacobi_iteration_matrix,
+)
+
+
+class TestEstimateRho:
+    def test_diagonal_matrix(self):
+        D = sp.diags([1.0, -3.0, 2.0]).tocsr()
+        assert estimate_rho(D, iters=200) == pytest.approx(3.0, rel=1e-4)
+
+    def test_callable_operator(self):
+        mat = np.diag([2.0, 0.5])
+        rho = estimate_rho(lambda v: mat @ v, n=2, iters=200)
+        assert rho == pytest.approx(2.0, rel=1e-4)
+
+    def test_callable_requires_n(self):
+        with pytest.raises(ValueError, match="n is required"):
+            estimate_rho(lambda v: v)
+
+    def test_zero_matrix(self):
+        Z = sp.csr_matrix((4, 4))
+        assert estimate_rho(Z) == 0.0
+
+    def test_known_laplacian_rho(self, A_1d):
+        # 1-D Laplacian eigenvalues: 2 - 2cos(k pi h); Jacobi G = I - D^{-1}A
+        # has rho = cos(pi h).
+        n = A_1d.shape[0]
+        G = jacobi_iteration_matrix(A_1d, weight=1.0)
+        expected = np.cos(np.pi / (n + 1))
+        assert estimate_rho(G, iters=3000, tol=1e-12) == pytest.approx(expected, rel=1e-3)
+
+
+class TestJacobiIterationMatrix:
+    def test_row_structure(self, A_1d):
+        G = jacobi_iteration_matrix(A_1d, weight=1.0)
+        # G = I - D^{-1} A has zero diagonal for weight 1.
+        assert np.allclose(G.diagonal(), 0.0)
+
+    def test_weight_scales(self, A_1d):
+        G9 = jacobi_iteration_matrix(A_1d, weight=0.9)
+        dense = np.eye(A_1d.shape[0]) - 0.9 * np.diag(1.0 / A_1d.diagonal()) @ A_1d.toarray()
+        assert np.allclose(G9.toarray(), dense)
+
+    def test_zero_diag_raises(self):
+        M = sp.csr_matrix(np.array([[0.0, 1.0], [1.0, 1.0]]))
+        with pytest.raises(ValueError):
+            jacobi_iteration_matrix(M)
+
+
+class TestAsyncConvergence:
+    def test_weighted_jacobi_on_laplacian_is_async_convergent(self, A_1d):
+        # For the M-matrix Laplacian, |G| has the same spectral radius
+        # as weighted Jacobi's G (all entries already non-negative for
+        # omega <= 1), which is < 1.
+        assert is_async_convergent(A_1d, weight=0.9)
+
+    def test_rho_abs_at_least_rho(self, A_7pt):
+        rho_abs = abs_iteration_matrix_rho(A_7pt, weight=0.9)
+        G = jacobi_iteration_matrix(A_7pt, weight=0.9)
+        rho = estimate_rho(G, iters=200)
+        assert rho_abs >= rho - 1e-6
+
+    def test_overrelaxed_fails(self, A_1d):
+        # weight 2.0 gives |G| with rho > 1 (diagonal entry |1 - 2| = 1
+        # plus positive off-diagonals).
+        assert not is_async_convergent(A_1d, weight=2.0)

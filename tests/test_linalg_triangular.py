@@ -1,0 +1,111 @@
+"""Unit tests for repro.linalg.triangular."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.linalg import (
+    backward_solve,
+    build_level_schedule,
+    forward_solve,
+    level_scheduled_forward_solve,
+    lower_triangle,
+)
+
+
+@pytest.fixture()
+def L_random():
+    rng = np.random.default_rng(3)
+    n = 40
+    dense = np.tril(rng.standard_normal((n, n)))
+    dense[np.abs(dense) < 0.8] = 0.0  # sparsify
+    np.fill_diagonal(dense, rng.uniform(1.0, 2.0, n))
+    return sp.csr_matrix(dense)
+
+
+class TestForwardSolve:
+    def test_matches_dense(self, L_random):
+        rng = np.random.default_rng(4)
+        b = rng.standard_normal(L_random.shape[0])
+        x = forward_solve(L_random, b)
+        ref = np.linalg.solve(L_random.toarray(), b)
+        assert np.allclose(x, ref)
+
+    def test_ignores_upper_entries(self, A_1d):
+        b = np.ones(A_1d.shape[0])
+        x_full = forward_solve(A_1d, b)  # pass full matrix
+        x_tril = forward_solve(lower_triangle(A_1d), b)
+        assert np.allclose(x_full, x_tril)
+
+    def test_missing_diagonal_raises(self):
+        L = sp.csr_matrix(np.array([[1.0, 0.0], [1.0, 0.0]]))
+        with pytest.raises(ValueError, match="diagonal"):
+            forward_solve(L, np.ones(2))
+
+    def test_nonsquare_raises(self):
+        with pytest.raises(ValueError, match="square"):
+            forward_solve(sp.csr_matrix(np.ones((2, 3))), np.ones(2))
+
+
+class TestBackwardSolve:
+    def test_matches_dense(self, L_random):
+        U = sp.csr_matrix(L_random.T)
+        rng = np.random.default_rng(5)
+        b = rng.standard_normal(U.shape[0])
+        x = backward_solve(U, b)
+        assert np.allclose(x, np.linalg.solve(U.toarray(), b))
+
+    def test_transpose_consistency(self, L_random):
+        b = np.ones(L_random.shape[0])
+        x1 = backward_solve(sp.csr_matrix(L_random.T), b)
+        ref = np.linalg.solve(L_random.toarray().T, b)
+        assert np.allclose(x1, ref)
+
+
+class TestLevelSchedule:
+    def test_partitions_all_rows(self, L_random):
+        schedule = build_level_schedule(L_random)
+        all_rows = np.sort(np.concatenate(schedule))
+        assert np.array_equal(all_rows, np.arange(L_random.shape[0]))
+
+    def test_diagonal_matrix_single_level(self):
+        D = sp.diags(np.arange(1.0, 6.0)).tocsr()
+        schedule = build_level_schedule(D)
+        assert len(schedule) == 1
+
+    def test_bidiagonal_is_fully_sequential(self):
+        n = 10
+        L = sp.diags([np.ones(n - 1), np.ones(n)], offsets=[-1, 0]).tocsr()
+        schedule = build_level_schedule(L)
+        assert len(schedule) == n
+
+    def test_levels_respect_dependencies(self, L_random):
+        schedule = build_level_schedule(L_random)
+        level_of = np.empty(L_random.shape[0], dtype=int)
+        for lvl, rows in enumerate(schedule):
+            level_of[rows] = lvl
+        coo = L_random.tocoo()
+        for i, j in zip(coo.row, coo.col):
+            if j < i:
+                assert level_of[j] < level_of[i]
+
+
+class TestLevelScheduledSolve:
+    def test_matches_row_solve(self, L_random):
+        rng = np.random.default_rng(6)
+        b = rng.standard_normal(L_random.shape[0])
+        x1 = forward_solve(L_random, b)
+        x2 = level_scheduled_forward_solve(L_random, b)
+        assert np.allclose(x1, x2)
+
+    def test_with_precomputed_schedule(self, L_random):
+        schedule = build_level_schedule(L_random)
+        b = np.ones(L_random.shape[0])
+        x = level_scheduled_forward_solve(L_random, b, schedule=schedule)
+        assert np.allclose(x, forward_solve(L_random, b))
+
+    def test_zero_diag_raises(self):
+        L = sp.csr_matrix(np.array([[1.0, 0.0], [1.0, 0.0]]))
+        L[1, 1] = 0  # explicit structural diagonal missing
+        with pytest.raises(ValueError):
+            level_scheduled_forward_solve(L.tocsr(), np.ones(2))

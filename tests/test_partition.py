@@ -1,0 +1,56 @@
+"""Unit tests for thread partitioning."""
+
+import numpy as np
+import pytest
+
+from repro.partition import largest_remainder, partition_threads
+
+
+class TestLargestRemainder:
+    def test_exact_total(self):
+        out = largest_remainder(np.array([1.0, 2.0, 3.0]), 10)
+        assert out.sum() == 10
+
+    def test_proportionality(self):
+        out = largest_remainder(np.array([1.0, 1.0, 2.0]), 8)
+        assert out[2] == 4
+
+    def test_zero_total(self):
+        out = largest_remainder(np.array([1.0, 2.0]), 0)
+        assert np.all(out == 0)
+
+    def test_deterministic_ties(self):
+        a = largest_remainder(np.array([1.0, 1.0, 1.0]), 2)
+        b = largest_remainder(np.array([1.0, 1.0, 1.0]), 2)
+        assert np.array_equal(a, b)
+
+    def test_negative_weights_raise(self):
+        with pytest.raises(ValueError):
+            largest_remainder(np.array([-1.0, 2.0]), 3)
+
+    def test_zero_weights_raise(self):
+        with pytest.raises(ValueError):
+            largest_remainder(np.zeros(3), 3)
+
+
+class TestPartitionThreads:
+    def test_every_grid_gets_one(self):
+        out = partition_threads(np.array([100.0, 1.0, 1.0]), 16)
+        assert np.all(out >= 1)
+        assert out.sum() == 16
+
+    def test_work_proportional(self):
+        out = partition_threads(np.array([90.0, 10.0]), 100)
+        assert out[0] > 8 * out[1] * 0.9
+
+    def test_fewer_threads_than_grids(self):
+        out = partition_threads(np.ones(8), 3)
+        assert np.all(out == 1)  # oversubscribed
+
+    def test_one_thread(self):
+        out = partition_threads(np.array([5.0, 3.0]), 1)
+        assert np.all(out == 1)
+
+    def test_invalid_nthreads(self):
+        with pytest.raises(ValueError):
+            partition_threads(np.ones(2), 0)

@@ -1,0 +1,41 @@
+"""Unit tests for repro.problems.rhs."""
+
+import numpy as np
+import pytest
+
+from repro.problems.rhs import ones_rhs, random_rhs, smooth_rhs
+
+
+class TestRandomRhs:
+    def test_range(self):
+        b = random_rhs(1000, seed=0)
+        assert b.min() >= -1.0 and b.max() <= 1.0
+
+    def test_deterministic(self):
+        assert np.array_equal(random_rhs(50, seed=3), random_rhs(50, seed=3))
+
+    def test_seeds_differ(self):
+        assert not np.array_equal(random_rhs(50, seed=1), random_rhs(50, seed=2))
+
+    def test_length(self):
+        assert random_rhs(17).shape == (17,)
+
+    def test_negative_n_raises(self):
+        with pytest.raises(ValueError):
+            random_rhs(-1)
+
+
+class TestOnesRhs:
+    def test_values(self):
+        assert np.all(ones_rhs(5) == 1.0)
+
+
+class TestSmoothRhs:
+    def test_endpoint_behaviour(self):
+        b = smooth_rhs(9, waves=1)
+        assert b[4] == pytest.approx(1.0)  # peak of half sine
+
+    def test_more_waves_oscillate(self):
+        b = smooth_rhs(100, waves=4)
+        signs = np.sign(b[np.abs(b) > 1e-9])
+        assert (np.diff(signs) != 0).sum() >= 3

@@ -1,0 +1,113 @@
+"""Unit tests for repro.problems.stencils."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.problems.stencils import (
+    laplacian_1d,
+    laplacian_7pt,
+    laplacian_27pt,
+    laplacian_27pt_fem,
+    mass_1d,
+)
+
+
+class TestLaplacian1D:
+    def test_stencil(self):
+        K = laplacian_1d(4).toarray()
+        assert np.allclose(np.diag(K), 2.0)
+        assert np.allclose(np.diag(K, 1), -1.0)
+
+    def test_h_scaling(self):
+        K = laplacian_1d(4, h_scaled=True)
+        assert K[0, 0] == pytest.approx(2.0 * 5.0)
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            laplacian_1d(0)
+
+
+class TestMass1D:
+    def test_row_sums_are_one_interior(self):
+        M = mass_1d(5).toarray()
+        assert np.allclose(M.sum(axis=1)[1:-1], 1.0)
+
+    def test_spd(self):
+        M = mass_1d(6)
+        w = np.linalg.eigvalsh(M.toarray())
+        assert w.min() > 0
+
+
+class TestLaplacian7pt:
+    def test_paper_dimensions(self):
+        A = laplacian_7pt(30)
+        assert A.shape == (27000, 27000)
+        assert A.nnz == 183600  # Table I
+
+    def test_symmetric(self):
+        A = laplacian_7pt(5)
+        assert abs(A - A.T).max() == 0.0
+
+    def test_interior_row(self):
+        A = laplacian_7pt(5)
+        # Centre point of the 5^3 grid: index 2*25 + 2*5 + 2.
+        i = 2 * 25 + 2 * 5 + 2
+        row = A.getrow(i)
+        assert row[0, i] == 6.0
+        assert row.nnz == 7
+        assert row.sum() == pytest.approx(0.0)
+
+    def test_spd_smallest_eigenvalue(self):
+        A = laplacian_7pt(4)
+        w = np.linalg.eigvalsh(A.toarray())
+        # Known: lambda_min = 3 * (2 - 2 cos(pi/5))
+        expected = 3 * (2 - 2 * np.cos(np.pi / 5))
+        assert w.min() == pytest.approx(expected, rel=1e-10)
+
+    def test_constant_vector_boundary_effect(self):
+        A = laplacian_7pt(4)
+        v = np.ones(64)
+        # Interior rows annihilate constants; boundary rows do not.
+        assert (A @ v).max() > 0
+
+
+class TestLaplacian27pt:
+    def test_paper_dimensions(self):
+        A = laplacian_27pt(30)
+        assert A.shape == (27000, 27000)
+        assert A.nnz == 681472  # Table I: (3n-2)^3
+
+    def test_interior_row_weights(self):
+        A = laplacian_27pt(5)
+        i = 2 * 25 + 2 * 5 + 2
+        row = A.getrow(i).toarray().ravel()
+        assert row[i] == 26.0
+        offs = np.delete(row, i)
+        assert set(np.unique(offs[offs != 0])) == {-1.0}
+        assert row.sum() == pytest.approx(0.0)
+
+    def test_symmetric_and_diag_dominant(self):
+        A = laplacian_27pt(4)
+        assert abs(A - A.T).max() == 0.0
+        d = A.diagonal()
+        offsum = np.abs(A.toarray()).sum(axis=1) - d
+        assert np.all(d >= offsum)  # weak diagonal dominance
+
+    def test_spd(self):
+        A = laplacian_27pt(3)
+        w = np.linalg.eigvalsh(A.toarray())
+        assert w.min() > 0
+
+
+class TestLaplacian27ptFem:
+    def test_face_couplings_cancel(self):
+        A = laplacian_27pt_fem(5)
+        i = 2 * 25 + 2 * 5 + 2
+        # Face neighbour (i +/- 1 in z): the trilinear FEM quirk.
+        assert A[i, i + 1] == pytest.approx(0.0, abs=1e-14)
+
+    def test_spd(self):
+        A = laplacian_27pt_fem(3)
+        w = np.linalg.eigvalsh(A.toarray())
+        assert w.min() > 0

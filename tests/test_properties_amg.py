@@ -1,0 +1,103 @@
+"""Property-based tests for AMG setup invariants."""
+
+import numpy as np
+import scipy.sparse as sp
+from hypothesis import given, settings, strategies as st
+
+from repro.amg import (
+    CPOINT,
+    FPOINT,
+    UNDECIDED,
+    classical_interpolation,
+    classical_strength,
+    direct_interpolation,
+    galerkin_product,
+    hmis_coarsening,
+    pmis_coarsening,
+    rs_coarsening,
+)
+
+
+@st.composite
+def random_spd_mmatrix(draw, max_cells=8):
+    """Random anisotropic grid Laplacian (always an SPD M-matrix)."""
+    nx = draw(st.integers(3, max_cells))
+    ny = draw(st.integers(3, max_cells))
+    ax = draw(st.floats(0.1, 10.0))
+    ay = draw(st.floats(0.1, 10.0))
+    Kx = sp.diags([-ax * np.ones(nx - 1), 2 * ax * np.ones(nx), -ax * np.ones(nx - 1)], [-1, 0, 1])
+    Ky = sp.diags([-ay * np.ones(ny - 1), 2 * ay * np.ones(ny), -ay * np.ones(ny - 1)], [-1, 0, 1])
+    A = sp.kron(Kx, sp.identity(ny)) + sp.kron(sp.identity(nx), Ky)
+    return A.tocsr()
+
+
+class TestCoarseningProperties:
+    @given(random_spd_mmatrix(), st.integers(0, 5))
+    @settings(max_examples=25, deadline=None)
+    def test_pmis_everything_decided(self, A, seed):
+        S = classical_strength(A, 0.25)
+        split = pmis_coarsening(S, seed=seed)
+        assert not np.any(split == UNDECIDED)
+
+    @given(random_spd_mmatrix(), st.integers(0, 5))
+    @settings(max_examples=25, deadline=None)
+    def test_pmis_independent_set(self, A, seed):
+        S = classical_strength(A, 0.25)
+        split = pmis_coarsening(S, seed=seed)
+        sym = ((S + S.T) > 0).tocsr()
+        cpts = np.flatnonzero(split == CPOINT)
+        if cpts.size:
+            assert sym[cpts][:, cpts].nnz == 0
+
+    @given(random_spd_mmatrix(), st.integers(0, 5))
+    @settings(max_examples=20, deadline=None)
+    def test_hmis_f_points_covered(self, A, seed):
+        S = classical_strength(A, 0.25)
+        split = hmis_coarsening(S, seed=seed)
+        for i in range(S.shape[0]):
+            row = S.indices[S.indptr[i] : S.indptr[i + 1]]
+            if split[i] == FPOINT and row.size:
+                assert np.any(split[row] == CPOINT)
+
+    @given(random_spd_mmatrix())
+    @settings(max_examples=20, deadline=None)
+    def test_rs_deterministic(self, A):
+        S = classical_strength(A, 0.25)
+        assert np.array_equal(rs_coarsening(S), rs_coarsening(S))
+
+
+class TestInterpolationProperties:
+    @given(random_spd_mmatrix(), st.integers(0, 3))
+    @settings(max_examples=20, deadline=None)
+    def test_c_rows_identity(self, A, seed):
+        S = classical_strength(A, 0.25)
+        split = pmis_coarsening(S, seed=seed)
+        for interp in (direct_interpolation, classical_interpolation):
+            P = interp(A, S, split)
+            cpts = np.flatnonzero(split == CPOINT)
+            eye = P[cpts].toarray()
+            assert np.allclose(eye, np.eye(cpts.size))
+
+    @given(random_spd_mmatrix(), st.integers(0, 3))
+    @settings(max_examples=20, deadline=None)
+    def test_galerkin_spd(self, A, seed):
+        S = classical_strength(A, 0.25)
+        split = pmis_coarsening(S, seed=seed)
+        if (split == CPOINT).sum() == 0:
+            return
+        P = classical_interpolation(A, S, split)
+        Ac = galerkin_product(A, P)
+        assert abs(Ac - Ac.T).max() < 1e-12
+        w = np.linalg.eigvalsh(Ac.toarray())
+        assert w.min() > -1e-10
+
+    @given(random_spd_mmatrix(), st.integers(0, 3))
+    @settings(max_examples=20, deadline=None)
+    def test_weights_bounded(self, A, seed):
+        # Interpolation weights of an M-matrix stay in [0, 1] for
+        # direct interpolation (convex-combination structure).
+        S = classical_strength(A, 0.25)
+        split = pmis_coarsening(S, seed=seed)
+        P = direct_interpolation(A, S, split)
+        assert P.data.min() >= -1e-12
+        assert P.data.max() <= 1.0 + 1e-12

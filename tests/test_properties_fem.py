@@ -1,0 +1,69 @@
+"""Property-based tests for the FEM substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.problems.fem.assembly import (
+    assemble_scalar_stiffness,
+    assemble_vector_stiffness,
+    p1_gradients,
+)
+from repro.problems.fem.mesh import beam_mesh, cube_mesh
+
+
+@st.composite
+def small_cube_mesh(draw):
+    n = draw(st.integers(2, 4))
+    extent = draw(st.floats(0.5, 3.0))
+    return cube_mesh(n, extent=extent)
+
+
+class TestAssemblyProperties:
+    @given(small_cube_mesh())
+    @settings(max_examples=15, deadline=None)
+    def test_stiffness_symmetric_psd(self, mesh):
+        A = assemble_scalar_stiffness(mesh)
+        assert abs(A - A.T).max() < 1e-11
+        rng = np.random.default_rng(0)
+        for _ in range(3):
+            v = rng.standard_normal(mesh.n_nodes)
+            assert float(v @ (A @ v)) >= -1e-10 * float(v @ v)
+
+    @given(small_cube_mesh(), st.floats(0.1, 10.0))
+    @settings(max_examples=15, deadline=None)
+    def test_kappa_linearity(self, mesh, kappa):
+        A1 = assemble_scalar_stiffness(mesh, 1.0)
+        Ak = assemble_scalar_stiffness(mesh, kappa)
+        assert abs(Ak - kappa * A1).max() < 1e-9 * max(kappa, 1.0)
+
+    @given(small_cube_mesh(), st.integers(0, 2**31 - 1))
+    @settings(max_examples=15, deadline=None)
+    def test_linear_fields_in_kernel_interior(self, mesh, seed):
+        A = assemble_scalar_stiffness(mesh)
+        rng = np.random.default_rng(seed)
+        a = rng.standard_normal(3)
+        u = mesh.nodes @ a + rng.standard_normal()
+        res = A @ u
+        interior = mesh.interior_nodes()
+        if interior.size:
+            scale = max(np.abs(A.data).max() * np.abs(u).max(), 1e-30)
+            assert np.abs(res[interior]).max() < 1e-10 * scale
+
+    @given(small_cube_mesh())
+    @settings(max_examples=15, deadline=None)
+    def test_gradients_partition_of_unity(self, mesh):
+        grads, vols = p1_gradients(mesh)
+        assert np.abs(grads.sum(axis=1)).max() < 1e-10
+        assert np.all(vols > 0)
+
+    @given(st.integers(2, 4), st.floats(0.05, 0.45))
+    @settings(max_examples=10, deadline=None)
+    def test_elasticity_rigid_modes_random_poisson(self, n, nu):
+        mesh = beam_mesh(n, 2, 2)
+        A = assemble_vector_stiffness(mesh, poisson=nu)
+        from repro.amg import rigid_body_modes
+
+        B = rigid_body_modes(mesh.nodes)
+        scale = np.abs(A.data).max() * np.abs(B).max()
+        assert np.abs(A @ B).max() < 1e-9 * max(scale, 1.0)

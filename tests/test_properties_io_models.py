@@ -1,0 +1,70 @@
+"""Property-based tests: serialization round-trips and model invariants."""
+
+import numpy as np
+import scipy.sparse as sp
+from hypothesis import given, settings, strategies as st
+
+from repro.io import read_matrix_market, write_matrix_market
+from repro.io.serialize import _pack_csr, _unpack_csr
+
+
+@st.composite
+def random_sparse(draw, max_n=20):
+    n = draw(st.integers(1, max_n))
+    m = draw(st.integers(1, max_n))
+    rng = np.random.default_rng(draw(st.integers(0, 2**31 - 1)))
+    dense = rng.standard_normal((n, m))
+    dense[rng.uniform(size=(n, m)) < 0.6] = 0.0
+    return sp.csr_matrix(dense)
+
+
+class TestSerializationProperties:
+    @given(random_sparse())
+    @settings(max_examples=40, deadline=None)
+    def test_csr_pack_roundtrip(self, M):
+        blob = {}
+        _pack_csr("X", M, blob)
+        M2 = _unpack_csr("X", blob)
+        assert (M != M2).nnz == 0
+
+    @given(random_sparse())
+    @settings(max_examples=25, deadline=None)
+    def test_matrix_market_roundtrip(self, M):
+        import tempfile
+        from pathlib import Path
+
+        with tempfile.TemporaryDirectory() as d:
+            f = Path(d) / "m.mtx"
+            write_matrix_market(f, M)
+            M2 = read_matrix_market(f)
+            assert M2.shape == M.shape
+            if M.nnz:
+                assert abs(M - M2).max() < 1e-14
+            else:
+                assert M2.nnz == 0
+
+
+class TestModelInvariantsProperty:
+    @given(st.integers(0, 2**31 - 1), st.floats(0.2, 1.0), st.integers(0, 4))
+    @settings(max_examples=10, deadline=None)
+    def test_models_never_lose_correction_count(self, seed, alpha, delta):
+        # Whatever the schedule, every grid performs exactly its budget.
+        from repro.amg import SetupOptions, setup_hierarchy
+        from repro.core import ScheduleParams, simulate_full_async_residual
+        from repro.problems import laplacian_7pt, random_rhs
+        from repro.solvers import Multadd
+
+        A = laplacian_7pt(6)
+        h = setup_hierarchy(A, SetupOptions(aggressive_levels=1))
+        ma = Multadd(h, smoother="jacobi", weight=0.9)
+        res = simulate_full_async_residual(
+            ma,
+            random_rhs(A.shape[0], 0),
+            ScheduleParams(alpha=alpha, delta=delta, updates_per_grid=5, seed=seed),
+        )
+        assert np.all(res.corrections_per_grid == 5)
+        # The reported residual is exactly b - A x (model consistency).
+        r = random_rhs(A.shape[0], 0) - ma.A @ res.x
+        assert np.linalg.norm(r) / np.linalg.norm(random_rhs(A.shape[0], 0)) == (
+            res.rel_residual
+        )

@@ -1,0 +1,82 @@
+"""Property-based tests for solver-level invariants."""
+
+import numpy as np
+import scipy.sparse as sp
+from hypothesis import given, settings, strategies as st
+
+from repro.amg import SetupOptions, setup_hierarchy
+from repro.solvers import AFACx, Multadd, MultiplicativeMultigrid
+
+
+@st.composite
+def laplacian_2d(draw):
+    n = draw(st.integers(4, 9))
+    K = sp.diags([-np.ones(n - 1), 2 * np.ones(n), -np.ones(n - 1)], [-1, 0, 1])
+    A = sp.kron(K, sp.identity(n)) + sp.kron(sp.identity(n), K)
+    return A.tocsr(), draw(st.integers(0, 2**31 - 1))
+
+
+class TestSolverProperties:
+    @given(laplacian_2d())
+    @settings(max_examples=15, deadline=None)
+    def test_mult_monotone(self, arg):
+        A, seed = arg
+        h = setup_hierarchy(A, SetupOptions(aggressive_levels=0, seed=seed % 100))
+        s = MultiplicativeMultigrid(h, smoother="jacobi", weight=0.9)
+        rng = np.random.default_rng(seed)
+        b = rng.uniform(-1, 1, A.shape[0])
+        res = s.solve(b, tmax=8)
+        hist = res.residual_history
+        assert all(a >= b_ - 1e-13 for a, b_ in zip(hist, hist[1:]))
+
+    @given(laplacian_2d())
+    @settings(max_examples=15, deadline=None)
+    def test_multadd_equivalence_random_problems(self, arg):
+        # The equivalence theorem must hold for every hierarchy, not
+        # just the fixture one.
+        import copy
+
+        from repro.amg.hierarchy import Hierarchy
+
+        A, seed = arg
+        h = setup_hierarchy(A, SetupOptions(aggressive_levels=0, seed=seed % 100))
+        lvs = [copy.copy(lv) for lv in h.levels[:2]]
+        lvs[-1] = copy.copy(lvs[-1])
+        lvs[-1].P = None
+        lvs[-1].R = None
+        ht = Hierarchy(levels=lvs, options=h.options)
+        rng = np.random.default_rng(seed)
+        b = rng.uniform(-1, 1, A.shape[0])
+        mult = MultiplicativeMultigrid(ht, smoother="jacobi", weight=0.9, symmetric=True)
+        madd = Multadd(ht, smoother="jacobi", weight=0.9, lambda_mode="symmetrized")
+        x0 = np.zeros(A.shape[0])
+        x1, x2 = mult.cycle(x0, b), madd.cycle(x0, b)
+        assert np.allclose(x1, x2, rtol=1e-10, atol=1e-12)
+
+    @given(laplacian_2d())
+    @settings(max_examples=10, deadline=None)
+    def test_corrections_linear_afacx(self, arg):
+        A, seed = arg
+        h = setup_hierarchy(A, SetupOptions(aggressive_levels=0, seed=seed % 100))
+        s = AFACx(h, smoother="jacobi", weight=0.9)
+        rng = np.random.default_rng(seed)
+        u, v = rng.standard_normal((2, A.shape[0]))
+        k = s.ngrids - 1
+        assert np.allclose(
+            s.correction(k, u - 2 * v),
+            s.correction(k, u) - 2 * s.correction(k, v),
+            atol=1e-10,
+        )
+
+    @given(laplacian_2d())
+    @settings(max_examples=10, deadline=None)
+    def test_additive_cycle_decomposition(self, arg):
+        A, seed = arg
+        h = setup_hierarchy(A, SetupOptions(aggressive_levels=0, seed=seed % 100))
+        s = Multadd(h, smoother="jacobi", weight=0.9)
+        rng = np.random.default_rng(seed)
+        b = rng.uniform(-1, 1, A.shape[0])
+        x0 = rng.standard_normal(A.shape[0])
+        r = b - A @ x0
+        total = sum(s.correction(k, r) for k in range(s.ngrids))
+        assert np.allclose(s.cycle(x0, b), x0 + total, atol=1e-11)

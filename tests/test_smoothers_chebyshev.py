@@ -1,0 +1,55 @@
+"""Unit tests for the Chebyshev smoother (extension)."""
+
+import numpy as np
+import pytest
+
+from repro.smoothers import Chebyshev, make_smoother
+
+
+class TestChebyshev:
+    def test_sweep_reduces_residual(self, A_7pt, b_7pt):
+        s = Chebyshev(A_7pt, degree=3)
+        x = s.sweep(np.zeros(A_7pt.shape[0]), b_7pt, nsweeps=3)
+        assert np.linalg.norm(b_7pt - A_7pt @ x) < 0.5 * np.linalg.norm(b_7pt)
+
+    def test_higher_degree_smooths_better(self, A_7pt, b_7pt):
+        res = []
+        for deg in (1, 4):
+            s = Chebyshev(A_7pt, degree=deg)
+            x = s.sweep(np.zeros(A_7pt.shape[0]), b_7pt, nsweeps=2)
+            res.append(np.linalg.norm(b_7pt - A_7pt @ x))
+        assert res[1] < res[0]
+
+    def test_linear_operator(self, A_7pt):
+        # minv is a fixed polynomial: must be exactly linear.
+        s = Chebyshev(A_7pt, degree=3)
+        rng = np.random.default_rng(0)
+        u, v = rng.standard_normal((2, A_7pt.shape[0]))
+        lhs = s.minv(2.0 * u + 3.0 * v)
+        rhs = 2.0 * s.minv(u) + 3.0 * s.minv(v)
+        assert np.allclose(lhs, rhs)
+
+    def test_symmetric_operator(self, A_7pt):
+        # p(D^{-1}A)D^{-1} is symmetric: <Bu, v> == <u, Bv>.
+        s = Chebyshev(A_7pt, degree=2)
+        rng = np.random.default_rng(1)
+        u, v = rng.standard_normal((2, A_7pt.shape[0]))
+        assert float(s.minv(u) @ v) == pytest.approx(float(u @ s.minv(v)), rel=1e-10)
+
+    def test_lmax_override(self, A_7pt):
+        s = Chebyshev(A_7pt, degree=2, lmax=2.0)
+        assert s.lmax == 2.0
+
+    def test_invalid_params(self, A_7pt):
+        with pytest.raises(ValueError):
+            Chebyshev(A_7pt, degree=0)
+        with pytest.raises(ValueError):
+            Chebyshev(A_7pt, alpha=0.5)
+
+    def test_m_apply_not_available(self, A_7pt):
+        s = Chebyshev(A_7pt)
+        with pytest.raises(NotImplementedError):
+            s.m_apply(np.ones(A_7pt.shape[0]))
+
+    def test_registry(self, A_7pt):
+        assert isinstance(make_smoother("chebyshev", A_7pt), Chebyshev)

@@ -1,0 +1,115 @@
+"""Unit tests for Gauss-Seidel and hybrid JGS smoothers."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.linalg import lower_triangle
+from repro.smoothers import GaussSeidel, HybridJGS, make_smoother
+
+
+class TestGaussSeidel:
+    def test_m_is_lower_triangle(self, A_7pt):
+        s = GaussSeidel(A_7pt)
+        assert abs(s.M - lower_triangle(A_7pt)).max() == 0.0
+
+    def test_minv_matches_dense_solve(self, A_7pt):
+        s = GaussSeidel(A_7pt)
+        r = np.random.default_rng(0).standard_normal(A_7pt.shape[0])
+        ref = np.linalg.solve(lower_triangle(A_7pt).toarray(), r)
+        assert np.allclose(s.minv(r), ref)
+
+    def test_minv_t_matches_transpose_solve(self, A_7pt):
+        s = GaussSeidel(A_7pt)
+        r = np.random.default_rng(1).standard_normal(A_7pt.shape[0])
+        ref = np.linalg.solve(lower_triangle(A_7pt).toarray().T, r)
+        assert np.allclose(s.minv_t(r), ref)
+
+    def test_sweep_matches_classic_gs(self, A_1d):
+        # One GS sweep row by row equals x + M^{-1}(b - A x).
+        n = A_1d.shape[0]
+        b = np.ones(n)
+        x0 = np.zeros(n)
+        s = GaussSeidel(A_1d)
+        x1 = s.sweep(x0, b)
+        x_ref = x0.copy()
+        Ad = A_1d.toarray()
+        for i in range(n):
+            x_ref[i] = (b[i] - Ad[i, :i] @ x_ref[:i] - Ad[i, i + 1 :] @ x_ref[i + 1 :]) / Ad[i, i]
+        assert np.allclose(x1, x_ref)
+
+    def test_converges_faster_than_jacobi(self, A_7pt, b_7pt):
+        from repro.smoothers import WeightedJacobi
+
+        gs = GaussSeidel(A_7pt)
+        ja = WeightedJacobi(A_7pt, weight=0.9)
+        xg = gs.sweep(np.zeros(A_7pt.shape[0]), b_7pt, nsweeps=10)
+        xj = ja.sweep(np.zeros(A_7pt.shape[0]), b_7pt, nsweeps=10)
+        rg = np.linalg.norm(b_7pt - A_7pt @ xg)
+        rj = np.linalg.norm(b_7pt - A_7pt @ xj)
+        assert rg < rj
+
+    def test_symmetrized_apply_generic_path(self, A_7pt):
+        s = GaussSeidel(A_7pt)
+        r = np.random.default_rng(2).standard_normal(A_7pt.shape[0])
+        M = s.M.toarray()
+        ref = np.linalg.solve(
+            M.T, (M + M.T - A_7pt.toarray()) @ np.linalg.solve(M, r)
+        )
+        assert np.allclose(s.symmetrized_apply(r), ref)
+
+
+class TestHybridJGS:
+    def test_m_block_structure(self, A_7pt):
+        s = HybridJGS(A_7pt, nblocks=4)
+        M = s.M.tocoo()
+        block_of = np.empty(A_7pt.shape[0], dtype=int)
+        for bid, (lo, hi) in enumerate(s.blocks):
+            block_of[lo:hi] = bid
+        assert np.all(block_of[M.row] == block_of[M.col])
+        assert np.all(M.col <= M.row)
+
+    def test_one_block_equals_gs(self, A_7pt):
+        h = HybridJGS(A_7pt, nblocks=1)
+        g = GaussSeidel(A_7pt)
+        r = np.ones(A_7pt.shape[0])
+        assert np.allclose(h.minv(r), g.minv(r))
+
+    def test_n_blocks_equals_rows_is_jacobi(self, A_1d):
+        from repro.smoothers import WeightedJacobi
+
+        n = A_1d.shape[0]
+        h = HybridJGS(A_1d, nblocks=n)
+        j = WeightedJacobi(A_1d, weight=1.0)
+        r = np.random.default_rng(3).standard_normal(n)
+        assert np.allclose(h.minv(r), j.minv(r))
+
+    def test_sweep_reduces_residual(self, A_7pt, b_7pt):
+        s = HybridJGS(A_7pt, nblocks=8)
+        x = s.sweep(np.zeros(A_7pt.shape[0]), b_7pt, nsweeps=10)
+        assert np.linalg.norm(b_7pt - A_7pt @ x) < np.linalg.norm(b_7pt)
+
+    def test_block_diag_solve_independence(self, A_7pt):
+        # Each block solve only uses data within the block: perturbing
+        # r outside a block must not change that block's output.
+        s = HybridJGS(A_7pt, nblocks=4)
+        r = np.ones(A_7pt.shape[0])
+        y1 = s.minv(r)
+        r2 = r.copy()
+        lo, hi = s.blocks[2]
+        r2[:lo] += 5.0
+        y2 = s.minv(r2)
+        assert np.allclose(y1[lo:hi], y2[lo:hi])
+
+    def test_invalid_nblocks(self, A_7pt):
+        with pytest.raises(ValueError):
+            HybridJGS(A_7pt, nblocks=0)
+
+    def test_registry(self, A_7pt):
+        s = make_smoother("hybrid_jgs", A_7pt, nblocks=3)
+        assert isinstance(s, HybridJGS)
+        assert s.nblocks == 3
+
+    def test_minv_flops_scales_with_m(self, A_7pt):
+        s = HybridJGS(A_7pt, nblocks=4)
+        assert s.minv_flops() == pytest.approx(2.0 * s.M.nnz)

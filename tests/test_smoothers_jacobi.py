@@ -1,0 +1,124 @@
+"""Unit tests for the diagonal smoothers (omega-Jacobi, l1-Jacobi)."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.linalg import l1_row_norms, a_norm
+from repro.smoothers import L1Jacobi, WeightedJacobi, make_smoother
+
+
+class TestWeightedJacobi:
+    def test_minv_formula(self, A_7pt):
+        s = WeightedJacobi(A_7pt, weight=0.9)
+        r = np.arange(A_7pt.shape[0], dtype=float)
+        assert np.allclose(s.minv(r), 0.9 * r / A_7pt.diagonal())
+
+    def test_m_apply_inverse_pair(self, A_7pt):
+        s = WeightedJacobi(A_7pt, weight=0.7)
+        r = np.random.default_rng(0).standard_normal(A_7pt.shape[0])
+        assert np.allclose(s.m_apply(s.minv(r)), r)
+
+    def test_symmetric_m(self, A_7pt):
+        s = WeightedJacobi(A_7pt, weight=0.9)
+        r = np.ones(A_7pt.shape[0])
+        assert np.allclose(s.minv(r), s.minv_t(r))
+
+    def test_sweep_reduces_residual(self, A_7pt, b_7pt):
+        s = WeightedJacobi(A_7pt, weight=0.9)
+        x = np.zeros(A_7pt.shape[0])
+        r0 = np.linalg.norm(b_7pt)
+        x = s.sweep(x, b_7pt, nsweeps=5)
+        assert np.linalg.norm(b_7pt - A_7pt @ x) < r0
+
+    def test_sweep_does_not_mutate_input(self, A_7pt, b_7pt):
+        s = WeightedJacobi(A_7pt)
+        x = np.zeros(A_7pt.shape[0])
+        s.sweep(x, b_7pt)
+        assert np.all(x == 0.0)
+
+    def test_zero_sweeps_identity(self, A_7pt, b_7pt):
+        s = WeightedJacobi(A_7pt)
+        x = np.ones(A_7pt.shape[0])
+        assert np.allclose(s.sweep(x, b_7pt, nsweeps=0), x)
+
+    def test_invalid_weight(self, A_7pt):
+        with pytest.raises(ValueError):
+            WeightedJacobi(A_7pt, weight=0.0)
+        with pytest.raises(ValueError):
+            WeightedJacobi(A_7pt, weight=2.5)
+
+    def test_negative_sweeps_raise(self, A_7pt, b_7pt):
+        s = WeightedJacobi(A_7pt)
+        with pytest.raises(ValueError):
+            s.sweep(np.zeros(A_7pt.shape[0]), b_7pt, nsweeps=-1)
+
+    def test_symmetrized_apply_matches_formula(self, A_7pt):
+        s = WeightedJacobi(A_7pt, weight=0.9)
+        r = np.random.default_rng(1).standard_normal(A_7pt.shape[0])
+        d = A_7pt.diagonal() / 0.9
+        M = sp.diags(d)
+        ref = sp.diags(1 / d) @ ((M + M.T - A_7pt) @ (sp.diags(1 / d) @ r))
+        assert np.allclose(s.symmetrized_apply(r), ref)
+
+    def test_symmetrized_equals_forward_backward_sweeps(self, A_7pt):
+        # Lambda r == the correction of one forward sweep followed by
+        # one transposed sweep applied to residual r (zero guess).
+        s = WeightedJacobi(A_7pt, weight=0.9)
+        r = np.random.default_rng(2).standard_normal(A_7pt.shape[0])
+        y1 = s.minv(r)
+        y2 = y1 + s.minv_t(r - A_7pt @ y1)
+        assert np.allclose(s.symmetrized_apply(r), y2)
+
+    def test_iteration_matrix_small(self):
+        A = sp.csr_matrix(np.array([[2.0, -1.0], [-1.0, 2.0]]))
+        s = WeightedJacobi(A, weight=1.0)
+        G = s.iteration_matrix().toarray()
+        assert np.allclose(G, np.array([[0.0, 0.5], [0.5, 0.0]]))
+
+    def test_flops_positive(self, A_7pt):
+        s = WeightedJacobi(A_7pt)
+        assert s.flops_per_sweep() > 2 * A_7pt.nnz
+
+
+class TestL1Jacobi:
+    def test_diagonal_is_l1_norms(self, A_7pt):
+        s = L1Jacobi(A_7pt)
+        assert np.allclose(s.smoothing_diagonal, l1_row_norms(A_7pt))
+
+    def test_provably_convergent_on_spd(self, A_7pt):
+        assert L1Jacobi(A_7pt).is_provably_convergent()
+
+    def test_monotone_a_norm_decay(self, A_7pt, b_7pt):
+        # The l1-Jacobi guarantee: error decreases monotonically in the
+        # A-norm on SPD matrices.
+        import scipy.sparse.linalg as spla
+
+        s = L1Jacobi(A_7pt)
+        x_star = spla.spsolve(A_7pt.tocsc(), b_7pt)
+        x = np.zeros(A_7pt.shape[0])
+        prev = a_norm(A_7pt, x - x_star)
+        for _ in range(10):
+            x = s.sweep(x, b_7pt)
+            cur = a_norm(A_7pt, x - x_star)
+            assert cur <= prev + 1e-12
+            prev = cur
+
+    def test_more_damped_than_jacobi(self, A_7pt):
+        sl = L1Jacobi(A_7pt)
+        sw = WeightedJacobi(A_7pt, weight=0.9)
+        assert np.all(sl.smoothing_diagonal >= sw.smoothing_diagonal - 1e-12)
+
+    def test_registry(self, A_7pt):
+        s = make_smoother("l1_jacobi", A_7pt)
+        assert isinstance(s, L1Jacobi)
+
+
+class TestRegistry:
+    def test_unknown_name(self, A_7pt):
+        with pytest.raises(KeyError):
+            make_smoother("kaczmarz", A_7pt)
+
+    def test_kwargs_forwarded(self, A_7pt):
+        s = make_smoother("jacobi", A_7pt, weight=0.5)
+        assert s.weight == 0.5

@@ -1,0 +1,87 @@
+"""Unit tests for the SOR/SSOR smoothers (extension)."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.linalg import csr_diagonal, lower_triangle
+from repro.smoothers import SOR, SSOR, GaussSeidel, make_smoother
+from repro.solvers import Multadd, MultiplicativeMultigrid
+
+
+class TestSOR:
+    def test_omega_one_is_gs(self, A_7pt):
+        s = SOR(A_7pt, omega=1.0)
+        g = GaussSeidel(A_7pt)
+        r = np.random.default_rng(0).standard_normal(A_7pt.shape[0])
+        assert np.allclose(s.minv(r), g.minv(r))
+
+    def test_m_matrix_structure(self, A_7pt):
+        s = SOR(A_7pt, omega=1.5)
+        d = csr_diagonal(A_7pt)
+        M_ref = sp.diags(d / 1.5) + lower_triangle(A_7pt, strict=True)
+        assert abs(s.M - M_ref.tocsr()).max() < 1e-14
+
+    def test_converges(self, A_7pt, b_7pt):
+        s = SOR(A_7pt, omega=1.4)
+        x = s.sweep(np.zeros(A_7pt.shape[0]), b_7pt, nsweeps=30)
+        assert np.linalg.norm(b_7pt - A_7pt @ x) < 0.1 * np.linalg.norm(b_7pt)
+
+    def test_overrelaxation_accelerates_1d(self, A_1d):
+        b = np.ones(A_1d.shape[0])
+        res = {}
+        for omega in (1.0, 1.7):
+            s = SOR(A_1d, omega=omega)
+            x = s.sweep(np.zeros_like(b), b, nsweeps=40)
+            res[omega] = np.linalg.norm(b - A_1d @ x)
+        assert res[1.7] < res[1.0]
+
+    def test_invalid_omega(self, A_1d):
+        with pytest.raises(ValueError):
+            SOR(A_1d, omega=2.0)
+        with pytest.raises(ValueError):
+            SOR(A_1d, omega=0.0)
+
+    def test_registry(self, A_1d):
+        assert isinstance(make_smoother("sor", A_1d, omega=1.1), SOR)
+
+
+class TestSSOR:
+    def test_symmetric_operator(self, A_7pt):
+        s = SSOR(A_7pt, omega=1.3)
+        rng = np.random.default_rng(1)
+        u, v = rng.standard_normal((2, A_7pt.shape[0]))
+        assert float(s.minv(u) @ v) == pytest.approx(float(u @ s.minv(v)), rel=1e-10)
+
+    def test_minv_matches_forward_backward(self, A_7pt):
+        # One SSOR application == forward SOR sweep + backward sweep on
+        # the error equation, from a zero guess.
+        s = SSOR(A_7pt, omega=1.3)
+        sor = SOR(A_7pt, omega=1.3)
+        r = np.random.default_rng(2).standard_normal(A_7pt.shape[0])
+        y1 = sor.minv(r)
+        y = y1 + sor.minv_t(r - A_7pt @ y1)
+        assert np.allclose(s.minv(r), y)
+
+    def test_m_apply_inverse_pair(self, A_7pt):
+        s = SSOR(A_7pt, omega=1.3)
+        r = np.random.default_rng(3).standard_normal(A_7pt.shape[0])
+        assert np.allclose(s.m_apply(s.minv(r)), r)
+
+    def test_multadd_with_ssor_equals_ssor_symmetric_vcycle(self, hier_7pt, b_7pt):
+        # Multadd's Lambda for SSOR is one SSOR application
+        # (lambda_mode="minv" since SSOR is already symmetrized);
+        # the cycle must equal a symmetric V(1,1) with SOR pre and
+        # transposed-SOR post smoothing... verified here simply by
+        # convergence (the exact-equivalence test lives with Jacobi).
+        ma = Multadd(hier_7pt, smoother="ssor", lambda_mode="minv")
+        res = ma.solve(b_7pt, tmax=20)
+        assert res.final_relres < 1e-4
+
+    def test_inside_mult(self, hier_7pt, b_7pt):
+        m = MultiplicativeMultigrid(hier_7pt, smoother="ssor")
+        res = m.solve(b_7pt, tmax=10)
+        assert res.final_relres < 1e-4
+
+    def test_registry(self, A_1d):
+        assert isinstance(make_smoother("ssor", A_1d), SSOR)

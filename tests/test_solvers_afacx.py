@@ -1,0 +1,94 @@
+"""Unit tests for AFACx, including the modified-RHS identity."""
+
+import numpy as np
+import pytest
+
+from repro.solvers import AFACx, Multadd
+
+
+class TestModifiedRhsIdentity:
+    """Algorithm 2's lines 8-9 trick == the literal 3-step AFAC update."""
+
+    @pytest.mark.parametrize("s1,s2", [(1, 1), (2, 1), (1, 3), (2, 2)])
+    def test_equivalence(self, hier_7pt, b_7pt, s1, s2):
+        solver = AFACx(hier_7pt, smoother="jacobi", weight=0.9, s1=s1, s2=s2)
+        hier = solver.hierarchy
+        r = b_7pt.copy()
+        k = 0  # two-level portion of the hierarchy
+        lv = hier.levels[k]
+        r_k = hier.restrict_from_fine(k, r)
+        r_k1 = lv.R @ r_k
+        e_k1 = solver._smooth_zero_guess(k + 1, r_k1, s2)
+        # Literal AFAC: smooth from initial guess P e_{k+1}, subtract.
+        sm = solver.smoothers[k]
+        e_lit = sm.sweep(lv.P @ e_k1, r_k, nsweeps=s1)
+        literal = hier.interpolate_to_fine(k, e_lit) - hier.interpolate_to_fine(
+            k + 1, e_k1
+        )
+        assert np.allclose(solver.correction(k, r), literal, atol=1e-11)
+
+
+class TestAFACxBehaviour:
+    def test_converges(self, hier_7pt_agg, b_7pt):
+        s = AFACx(hier_7pt_agg, smoother="jacobi", weight=0.9)
+        res = s.solve(b_7pt, tmax=40)
+        assert res.final_relres < 1e-4
+
+    def test_slower_than_multadd(self, hier_7pt_agg, b_7pt):
+        # Table I: AFACx consistently needs more V-cycles than Multadd.
+        af = AFACx(hier_7pt_agg, smoother="jacobi", weight=0.9)
+        ma = Multadd(hier_7pt_agg, smoother="jacobi", weight=0.9)
+        r_af = af.solve(b_7pt, tmax=20).final_relres
+        r_ma = ma.solve(b_7pt, tmax=20).final_relres
+        assert r_ma < r_af
+
+    def test_correction_linear(self, hier_7pt_agg):
+        s = AFACx(hier_7pt_agg, smoother="jacobi", weight=0.9)
+        rng = np.random.default_rng(0)
+        u, v = rng.standard_normal((2, s.n))
+        for k in (0, 1, s.ngrids - 1):
+            lhs = s.correction(k, u + 0.5 * v)
+            rhs = s.correction(k, u) + 0.5 * s.correction(k, v)
+            assert np.allclose(lhs, rhs, atol=1e-12)
+
+    def test_coarsest_uses_smoothing_by_default(self, hier_7pt_agg):
+        s = AFACx(hier_7pt_agg, smoother="jacobi", weight=0.9)
+        ell = s.hierarchy.coarsest
+        rng = np.random.default_rng(2)
+        r = rng.standard_normal(s.n)
+        r_l = s.hierarchy.restrict_from_fine(ell, r)
+        expected = s.hierarchy.interpolate_to_fine(
+            ell, s._coarse_smoother.sweep(np.zeros_like(r_l), r_l, 1)
+        )
+        assert np.allclose(s.correction(ell, r), expected)
+
+    def test_exact_coarse_option(self, hier_7pt_agg, b_7pt):
+        s_ex = AFACx(hier_7pt_agg, smoother="jacobi", weight=0.9, exact_coarse=True)
+        s_sm = AFACx(hier_7pt_agg, smoother="jacobi", weight=0.9)
+        r_ex = s_ex.solve(b_7pt, tmax=25).final_relres
+        r_sm = s_sm.solve(b_7pt, tmax=25).final_relres
+        # Exact coarse solve should not be worse.
+        assert r_ex <= r_sm * 1.5
+
+    def test_more_sweeps_faster(self, hier_7pt_agg, b_7pt):
+        s1 = AFACx(hier_7pt_agg, smoother="jacobi", weight=0.9, s1=1, s2=1)
+        s2 = AFACx(hier_7pt_agg, smoother="jacobi", weight=0.9, s1=3, s2=3)
+        assert (
+            s2.solve(b_7pt, tmax=15).final_relres
+            <= s1.solve(b_7pt, tmax=15).final_relres * 1.1
+        )
+
+    def test_invalid_sweeps(self, hier_7pt_agg):
+        with pytest.raises(ValueError):
+            AFACx(hier_7pt_agg, s1=0)
+
+    def test_correction_flops_positive(self, hier_7pt_agg):
+        s = AFACx(hier_7pt_agg, smoother="jacobi", weight=0.9)
+        for k in range(s.ngrids):
+            assert s.correction_flops(k) > 0
+
+    def test_uses_plain_interpolants(self, hier_7pt_agg):
+        # AFACx restricts through plain P (not smoothed): its grid-0
+        # correction with zero inner correction reduces to smoothing.
+        s = AFACx(hier_7pt_agg, smoother="jacobi", weight=0.9)
+        assert not hasattr(s, "P_bar")

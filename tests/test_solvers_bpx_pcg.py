@@ -1,0 +1,68 @@
+"""Unit tests for BPX (over-correction) and PCG (extension)."""
+
+import numpy as np
+import pytest
+
+from repro.solvers import BPX, Multadd, PCG
+
+
+class TestBPX:
+    def test_diverges_as_solver(self, hier_7pt, b_7pt):
+        # The paper's point: summed corrections over-correct.
+        s = BPX(hier_7pt, smoother="jacobi", weight=0.9)
+        res = s.solve(b_7pt, tmax=20)
+        assert res.diverged or res.final_relres > 1.0
+
+    def test_damped_bpx_can_converge(self, hier_7pt, b_7pt):
+        s = BPX(
+            hier_7pt, smoother="jacobi", weight=0.9, scale=1.0 / hier_7pt.nlevels
+        )
+        res = s.solve(b_7pt, tmax=40)
+        assert res.final_relres < 1.0
+
+    def test_correction_symmetric_operator(self, hier_7pt):
+        # BPX's one-cycle operator is symmetric — required for PCG.
+        s = BPX(hier_7pt, smoother="jacobi", weight=0.9)
+        rng = np.random.default_rng(0)
+        u, v = rng.standard_normal((2, s.n))
+        Bu = sum(s.correction(k, u) for k in range(s.ngrids))
+        Bv = sum(s.correction(k, v) for k in range(s.ngrids))
+        assert float(Bu @ v) == pytest.approx(float(u @ Bv), rel=1e-10)
+
+    def test_invalid_scale(self, hier_7pt):
+        with pytest.raises(ValueError):
+            BPX(hier_7pt, scale=0.0)
+
+
+class TestPCG:
+    def test_unpreconditioned_converges(self, A_7pt, b_7pt):
+        res = PCG(A_7pt).solve(b_7pt, tol=1e-8, maxiter=1000)
+        assert res.final_relres < 1e-8
+
+    def test_bpx_preconditioner_beats_plain_cg(self, hier_7pt, A_7pt, b_7pt):
+        plain = PCG(A_7pt).solve(b_7pt, tol=1e-8, maxiter=1000)
+        bpx = PCG.with_additive_preconditioner(
+            BPX(hier_7pt, smoother="jacobi", weight=0.9)
+        ).solve(b_7pt, tol=1e-8, maxiter=1000)
+        assert bpx.cycles < plain.cycles
+
+    def test_multadd_preconditioner(self, hier_7pt, b_7pt):
+        solver = Multadd(hier_7pt, smoother="jacobi", weight=0.9)
+        res = PCG.with_additive_preconditioner(solver).solve(b_7pt, tol=1e-9)
+        assert res.final_relres < 1e-9
+        assert res.cycles < 40
+
+    def test_solution_accuracy(self, A_7pt, b_7pt):
+        import scipy.sparse.linalg as spla
+
+        res = PCG(A_7pt).solve(b_7pt, tol=1e-10, maxiter=2000)
+        x_star = spla.spsolve(A_7pt.tocsc(), b_7pt)
+        assert np.allclose(res.x, x_star, atol=1e-7)
+
+    def test_maxiter_respected(self, A_7pt, b_7pt):
+        res = PCG(A_7pt).solve(b_7pt, tol=1e-16, maxiter=5)
+        assert res.cycles == 5
+
+    def test_history_recorded(self, A_7pt, b_7pt):
+        res = PCG(A_7pt).solve(b_7pt, tol=1e-6, maxiter=500)
+        assert len(res.residual_history) == res.cycles

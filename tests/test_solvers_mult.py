@@ -1,0 +1,97 @@
+"""Unit tests for the multiplicative V-cycle solver (Mult baseline)."""
+
+import numpy as np
+import pytest
+import scipy.sparse.linalg as spla
+
+from repro.linalg import rel_residual_norm
+from repro.solvers import MultiplicativeMultigrid
+
+
+class TestVcycle:
+    def test_converges_7pt(self, hier_7pt, b_7pt):
+        s = MultiplicativeMultigrid(hier_7pt, smoother="jacobi", weight=0.9)
+        res = s.solve(b_7pt, tmax=20)
+        assert res.final_relres < 1e-5
+        assert not res.diverged
+
+    def test_grid_independent_rate(self):
+        # The defining multigrid property: rates do not degrade with n.
+        from repro.amg import SetupOptions, setup_hierarchy
+        from repro.problems import laplacian_7pt, random_rhs
+
+        rates = []
+        for n in (6, 12):
+            A = laplacian_7pt(n)
+            h = setup_hierarchy(A, SetupOptions(aggressive_levels=0))
+            s = MultiplicativeMultigrid(h, smoother="jacobi", weight=0.9)
+            res = s.solve(random_rhs(A.shape[0], seed=0), tmax=10)
+            rates.append(res.residual_history[-1] / res.residual_history[-2])
+        assert rates[1] < max(2.5 * rates[0], 0.7)
+
+    def test_monotone_convergence(self, hier_7pt, b_7pt):
+        s = MultiplicativeMultigrid(hier_7pt, smoother="jacobi", weight=0.9)
+        res = s.solve(b_7pt, tmax=15)
+        hist = np.array(res.residual_history)
+        assert np.all(np.diff(hist) < 1e-12)
+
+    def test_converges_to_exact_solution(self, hier_7pt, b_7pt, A_7pt):
+        s = MultiplicativeMultigrid(hier_7pt, smoother="jacobi", weight=0.9)
+        res = s.solve(b_7pt, tmax=60)
+        x_star = spla.spsolve(A_7pt.tocsc(), b_7pt)
+        assert np.allclose(res.x, x_star, atol=1e-6)
+
+    def test_v21_faster_than_v11(self, hier_7pt, b_7pt):
+        s11 = MultiplicativeMultigrid(hier_7pt, smoother="jacobi", weight=0.9)
+        s22 = MultiplicativeMultigrid(
+            hier_7pt, smoother="jacobi", weight=0.9, pre_sweeps=2, post_sweeps=2
+        )
+        r11 = s11.solve(b_7pt, tmax=8).final_relres
+        r22 = s22.solve(b_7pt, tmax=8).final_relres
+        assert r22 < r11
+
+    def test_nonzero_initial_guess(self, hier_7pt, b_7pt, A_7pt):
+        s = MultiplicativeMultigrid(hier_7pt, smoother="jacobi", weight=0.9)
+        x0 = np.random.default_rng(0).standard_normal(A_7pt.shape[0])
+        res = s.solve(b_7pt, tmax=20, x0=x0)
+        assert res.final_relres < 1e-4
+
+    def test_symmetric_variant_converges(self, hier_7pt, b_7pt):
+        s = MultiplicativeMultigrid(
+            hier_7pt, smoother="hybrid_jgs", nblocks=4, symmetric=True
+        )
+        res = s.solve(b_7pt, tmax=20)
+        assert res.final_relres < 1e-4
+
+    def test_gs_smoother_faster_than_jacobi(self, hier_7pt, b_7pt):
+        sj = MultiplicativeMultigrid(hier_7pt, smoother="jacobi", weight=0.9)
+        sg = MultiplicativeMultigrid(hier_7pt, smoother="gs")
+        assert sg.solve(b_7pt, tmax=8).final_relres < sj.solve(b_7pt, tmax=8).final_relres
+
+    def test_invalid_sweeps(self, hier_7pt):
+        with pytest.raises(ValueError):
+            MultiplicativeMultigrid(hier_7pt, pre_sweeps=-1)
+
+    def test_cycle_flops_positive(self, hier_7pt):
+        s = MultiplicativeMultigrid(hier_7pt, smoother="jacobi")
+        assert s.cycle_flops() > 0
+
+    def test_elasticity_converges(self, hier_elas, A_elas):
+        from repro.problems import random_rhs
+
+        b = random_rhs(A_elas.shape[0], seed=2)
+        s = MultiplicativeMultigrid(hier_elas, smoother="jacobi", weight=0.5)
+        res = s.solve(b, tmax=60)
+        # Classical AMG on elasticity converges but slowly (the paper's
+        # Table I needs ~190 cycles to 1e-9 on this set); require
+        # steady monotone progress rather than a tight tolerance.
+        assert not res.diverged
+        assert res.final_relres < 0.5
+        hist = np.array(res.residual_history)
+        assert np.all(np.diff(hist) < 1e-12)
+
+    def test_history_length(self, hier_7pt, b_7pt):
+        s = MultiplicativeMultigrid(hier_7pt, smoother="jacobi", weight=0.9)
+        res = s.solve(b_7pt, tmax=7)
+        assert len(res.residual_history) == 7
+        assert res.cycles == 7

@@ -1,0 +1,137 @@
+"""Unit tests for Multadd, including the paper's equivalence theorem."""
+
+import copy
+
+import numpy as np
+import pytest
+
+from repro.amg.hierarchy import Hierarchy
+from repro.solvers import Multadd, MultiplicativeMultigrid
+
+
+def truncate_hierarchy(h, nlevels):
+    """First ``nlevels`` levels of ``h`` as a standalone hierarchy."""
+    lvs = [copy.copy(lv) for lv in h.levels[:nlevels]]
+    lvs[-1] = copy.copy(lvs[-1])
+    lvs[-1].P = None
+    lvs[-1].R = None
+    return Hierarchy(levels=lvs, options=h.options)
+
+
+class TestEquivalenceTheorem:
+    """Multadd with the symmetrized smoother == symmetric V(1,1)-cycle.
+
+    This is the central algebraic identity of Section II.B.1 and the
+    strongest possible correctness anchor for the smoothed-interpolant
+    chain, the symmetrized Lambda, and the additive assembly.
+    """
+
+    @pytest.mark.parametrize("nlevels", [2, 3, 4])
+    def test_jacobi_equivalence(self, hier_7pt, b_7pt, nlevels):
+        if hier_7pt.nlevels < nlevels:
+            pytest.skip("hierarchy too shallow")
+        ht = truncate_hierarchy(hier_7pt, nlevels)
+        mult = MultiplicativeMultigrid(
+            ht, smoother="jacobi", weight=0.9, symmetric=True
+        )
+        madd = Multadd(ht, smoother="jacobi", weight=0.9, lambda_mode="symmetrized")
+        x0 = np.zeros(ht.levels[0].n)
+        x_mult = mult.cycle(x0, b_7pt)
+        x_madd = madd.cycle(x0, b_7pt)
+        scale = np.abs(x_mult).max()
+        assert np.abs(x_mult - x_madd).max() < 1e-12 * max(scale, 1.0)
+
+    def test_equivalence_many_cycles(self, hier_7pt, b_7pt):
+        ht = truncate_hierarchy(hier_7pt, 3)
+        mult = MultiplicativeMultigrid(
+            ht, smoother="jacobi", weight=0.9, symmetric=True
+        )
+        madd = Multadd(ht, smoother="jacobi", weight=0.9, lambda_mode="symmetrized")
+        r1 = mult.solve(b_7pt, tmax=10).residual_history
+        r2 = madd.solve(b_7pt, tmax=10).residual_history
+        assert np.allclose(r1, r2, rtol=1e-8)
+
+    def test_l1_jacobi_equivalence_two_level(self, hier_7pt, b_7pt):
+        ht = truncate_hierarchy(hier_7pt, 2)
+        mult = MultiplicativeMultigrid(ht, smoother="l1_jacobi", symmetric=True)
+        madd = Multadd(ht, smoother="l1_jacobi", lambda_mode="symmetrized")
+        x0 = np.zeros(ht.levels[0].n)
+        x_mult = mult.cycle(x0, b_7pt)
+        x_madd = madd.cycle(x0, b_7pt)
+        assert np.allclose(x_mult, x_madd, rtol=1e-11, atol=1e-13)
+
+
+class TestMultaddBehaviour:
+    def test_converges(self, hier_7pt_agg, b_7pt):
+        s = Multadd(hier_7pt_agg, smoother="jacobi", weight=0.9)
+        res = s.solve(b_7pt, tmax=25)
+        assert res.final_relres < 1e-5
+
+    def test_correction_is_linear_in_r(self, hier_7pt_agg):
+        s = Multadd(hier_7pt_agg, smoother="jacobi", weight=0.9)
+        rng = np.random.default_rng(0)
+        u, v = rng.standard_normal((2, s.n))
+        for k in (0, s.ngrids - 1):
+            lhs = s.correction(k, 2.0 * u - v)
+            rhs = 2.0 * s.correction(k, u) - s.correction(k, v)
+            assert np.allclose(lhs, rhs, atol=1e-12)
+
+    def test_corrections_sum_to_cycle(self, hier_7pt_agg, b_7pt):
+        s = Multadd(hier_7pt_agg, smoother="jacobi", weight=0.9)
+        x0 = np.zeros(s.n)
+        r = b_7pt.copy()
+        total = sum(s.correction(k, r) for k in range(s.ngrids))
+        assert np.allclose(s.cycle(x0, b_7pt), x0 + total)
+
+    def test_coarse_grid_correction_exact_solve(self, hier_7pt_agg):
+        s = Multadd(hier_7pt_agg, smoother="jacobi", weight=0.9)
+        ell = s.hierarchy.coarsest
+        rng = np.random.default_rng(1)
+        r = rng.standard_normal(s.n)
+        # grid ell correction == Pbar_l A_l^{-1} Pbar_l^T r
+        c = r.copy()
+        for j in range(ell):
+            c = s.P_bar[j].T @ c
+        d = s.coarse(c)
+        for j in range(ell - 1, -1, -1):
+            d = s.P_bar[j] @ d
+        assert np.allclose(s.correction(ell, r), d)
+
+    def test_hybrid_defaults_to_minv(self, hier_7pt):
+        s = Multadd(hier_7pt, smoother="hybrid_jgs", nblocks=4)
+        assert s.lambda_mode == "minv"
+
+    def test_jacobi_defaults_to_symmetrized(self, hier_7pt):
+        s = Multadd(hier_7pt, smoother="jacobi", weight=0.9)
+        assert s.lambda_mode == "symmetrized"
+
+    def test_l1_uses_l1_interpolants(self, hier_7pt):
+        s = Multadd(hier_7pt, smoother="l1_jacobi")
+        assert s.interp_smoother_kind == "l1_jacobi"
+
+    def test_invalid_lambda_mode(self, hier_7pt):
+        with pytest.raises(ValueError):
+            Multadd(hier_7pt, lambda_mode="exact")
+
+    def test_hybrid_smoother_converges(self, hier_7pt_agg, b_7pt):
+        s = Multadd(hier_7pt_agg, smoother="hybrid_jgs", nblocks=4)
+        res = s.solve(b_7pt, tmax=30)
+        assert res.final_relres < 1e-3
+
+    def test_async_gs_smoother_converges(self, hier_7pt_agg, b_7pt):
+        s = Multadd(
+            hier_7pt_agg, smoother="async_gs", nblocks=4, lambda_mode="sweep"
+        )
+        res = s.solve(b_7pt, tmax=30)
+        assert res.final_relres < 1e-3
+
+    def test_correction_flops_increase_with_depth_then_chain(self, hier_7pt_agg):
+        s = Multadd(hier_7pt_agg, smoother="jacobi", weight=0.9)
+        f = [s.correction_flops(k) for k in range(s.ngrids)]
+        assert all(v > 0 for v in f)
+
+    def test_work_per_grid_vector(self, hier_7pt_agg):
+        s = Multadd(hier_7pt_agg, smoother="jacobi", weight=0.9)
+        w = s.work_per_grid()
+        assert w.shape == (s.ngrids,)
+        assert np.all(w > 0)

@@ -1,0 +1,82 @@
+"""Unit tests for the convergence-theory module."""
+
+import numpy as np
+import pytest
+
+from repro.solvers import AFACx, BPX, Multadd, MultiplicativeMultigrid
+from repro.theory import (
+    async_smoother_margin,
+    error_propagator_rho,
+    method_operator,
+    observed_rate,
+    predicted_vs_observed,
+    staleness_penalty,
+)
+
+
+class TestErrorPropagator:
+    def test_operator_is_linear(self, hier_7pt_agg):
+        s = Multadd(hier_7pt_agg, smoother="jacobi", weight=0.9)
+        E = method_operator(s)
+        rng = np.random.default_rng(0)
+        u, v = rng.standard_normal((2, s.n))
+        assert np.allclose(E(u + 2 * v), E(u) + 2 * E(v), atol=1e-11)
+
+    def test_convergent_methods_rho_below_one(self, hier_7pt_agg):
+        for cls in (MultiplicativeMultigrid, Multadd, AFACx):
+            s = cls(hier_7pt_agg, smoother="jacobi", weight=0.9)
+            assert error_propagator_rho(s) < 1.0
+
+    def test_bpx_rho_above_one(self, hier_7pt):
+        s = BPX(hier_7pt, smoother="jacobi", weight=0.9)
+        assert error_propagator_rho(s) > 1.0
+
+    def test_mult_equals_multadd_rho(self, hier_7pt_agg):
+        # Equivalence theorem, spectral form.
+        mult = MultiplicativeMultigrid(
+            hier_7pt_agg, smoother="jacobi", weight=0.9, symmetric=True
+        )
+        madd = Multadd(hier_7pt_agg, smoother="jacobi", weight=0.9)
+        r1 = error_propagator_rho(mult)
+        r2 = error_propagator_rho(madd)
+        assert r1 == pytest.approx(r2, rel=1e-6)
+
+    def test_afacx_rho_above_multadd(self, hier_7pt_agg):
+        af = AFACx(hier_7pt_agg, smoother="jacobi", weight=0.9)
+        ma = Multadd(hier_7pt_agg, smoother="jacobi", weight=0.9)
+        assert error_propagator_rho(af) > error_propagator_rho(ma)
+
+
+class TestObservedRate:
+    def test_matches_prediction_for_mult(self, hier_7pt_agg, b_7pt):
+        s = MultiplicativeMultigrid(hier_7pt_agg, smoother="jacobi", weight=0.9)
+        rho, rate = predicted_vs_observed(s, b_7pt, cycles=30)
+        assert rate == pytest.approx(rho, abs=0.12)
+
+    def test_validation(self, hier_7pt_agg, b_7pt):
+        s = Multadd(hier_7pt_agg, smoother="jacobi", weight=0.9)
+        with pytest.raises(ValueError):
+            observed_rate(s, b_7pt, cycles=5, skip=10)
+
+
+class TestAsyncDiagnostics:
+    def test_margins_positive_for_laplacian(self, hier_7pt_agg):
+        m = async_smoother_margin(hier_7pt_agg, weight=0.9)
+        assert m.shape == (hier_7pt_agg.nlevels,)
+        assert np.all(m > 0)
+
+    def test_penalty_one_when_synchronous(self, hier_7pt_agg, b_7pt):
+        s = Multadd(hier_7pt_agg, smoother="jacobi", weight=0.9)
+        pen = staleness_penalty(s, b_7pt, alpha=1.0, delta=0, runs=1)
+        assert pen == pytest.approx(1.0, rel=1e-8)
+
+    def test_penalty_grows_with_staleness(self, hier_7pt_agg, b_7pt):
+        s = Multadd(hier_7pt_agg, smoother="jacobi", weight=0.9)
+        mild = staleness_penalty(s, b_7pt, alpha=0.9, delta=0, runs=2)
+        harsh = staleness_penalty(s, b_7pt, alpha=0.1, delta=4, runs=2, model="full")
+        assert harsh > mild
+
+    def test_model_validation(self, hier_7pt_agg, b_7pt):
+        s = Multadd(hier_7pt_agg, smoother="jacobi", weight=0.9)
+        with pytest.raises(ValueError):
+            staleness_penalty(s, b_7pt, model="psychic")

@@ -1,0 +1,102 @@
+"""Unit tests for repro.utils."""
+
+import numpy as np
+import pytest
+
+from repro.utils import (
+    axpy_flops,
+    dot_flops,
+    env_float,
+    env_int,
+    format_table,
+    scaled_sizes,
+    spawn_seeds,
+    spmv_flops,
+)
+
+
+class TestEnv:
+    def test_defaults(self, monkeypatch):
+        monkeypatch.delenv("REPRO_X", raising=False)
+        assert env_float("REPRO_X", 1.5) == 1.5
+        assert env_int("REPRO_X", 3) == 3
+
+    def test_parsing(self, monkeypatch):
+        monkeypatch.setenv("REPRO_X", "2.5")
+        assert env_float("REPRO_X", 0.0) == 2.5
+        monkeypatch.setenv("REPRO_X", "7")
+        assert env_int("REPRO_X", 0) == 7
+
+    def test_bad_values(self, monkeypatch):
+        monkeypatch.setenv("REPRO_X", "abc")
+        with pytest.raises(ValueError):
+            env_float("REPRO_X", 0.0)
+        with pytest.raises(ValueError):
+            env_int("REPRO_X", 0)
+
+    def test_empty_treated_as_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_X", "")
+        assert env_int("REPRO_X", 4) == 4
+
+
+class TestScaledSizes:
+    def test_paper_scale(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "1.0")
+        assert scaled_sizes([40, 60, 80]) == [40, 60, 80]
+
+    def test_dedup_after_rounding(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "0.1")
+        out = scaled_sizes([40, 50, 60], minimum=4)
+        assert len(out) == len(set(out))
+
+    def test_minimum_enforced(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "0.01")
+        out = scaled_sizes([40], minimum=6)
+        assert out == [6]
+
+    def test_invalid_scale(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "-1")
+        with pytest.raises(ValueError):
+            scaled_sizes([10])
+
+
+class TestSeeds:
+    def test_count(self):
+        assert len(spawn_seeds(0, 5)) == 5
+
+    def test_deterministic(self):
+        assert spawn_seeds(42, 3) == spawn_seeds(42, 3)
+
+    def test_independent(self):
+        s = spawn_seeds(0, 100)
+        assert len(set(s)) == 100
+
+    def test_negative_count(self):
+        with pytest.raises(ValueError):
+            spawn_seeds(0, -1)
+
+
+class TestFormatTable:
+    def test_basic(self):
+        out = format_table(["a", "b"], [[1, 2.5], [3, None]])
+        assert "a" in out and "b" in out
+        assert "+" in out  # dagger for divergence
+
+    def test_title(self):
+        out = format_table(["x"], [[1]], title="hello")
+        assert out.splitlines()[0] == "hello"
+
+    def test_nan_as_dagger(self):
+        out = format_table(["x"], [[float("nan")]])
+        assert "+" in out
+
+    def test_scientific_for_small(self):
+        out = format_table(["x"], [[1.5e-7]])
+        assert "e-07" in out
+
+
+class TestFlops:
+    def test_values(self):
+        assert spmv_flops(100) == 200.0
+        assert axpy_flops(10) == 20.0
+        assert dot_flops(10) == 20.0

@@ -1,0 +1,60 @@
+"""Unit tests for the ASCII plotting utilities."""
+
+import numpy as np
+import pytest
+
+from repro.utils import ascii_semilogy, ascii_timeline
+
+
+class TestSemilogy:
+    def test_basic_render(self):
+        out = ascii_semilogy({"a": [1.0, 0.1, 0.01]}, width=20, height=6)
+        assert "o=a" in out
+        assert out.count("o") >= 3
+
+    def test_title(self):
+        out = ascii_semilogy({"a": [1.0, 0.5]}, title="hello")
+        assert out.splitlines()[0] == "hello"
+
+    def test_multiple_series_markers(self):
+        out = ascii_semilogy({"a": [1.0, 0.1], "b": [1.0, 0.2]})
+        assert "o=a" in out and "x=b" in out
+
+    def test_skips_nonpositive(self):
+        out = ascii_semilogy({"a": [1.0, -1.0, float("nan"), 0.1]})
+        assert "o" in out
+
+    def test_constant_series_handled(self):
+        out = ascii_semilogy({"a": [1.0, 1.0, 1.0]})
+        assert "o" in out
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            ascii_semilogy({})
+        with pytest.raises(ValueError):
+            ascii_semilogy({"a": [-1.0, float("nan")]})
+        with pytest.raises(ValueError):
+            ascii_semilogy({"a": [1.0]})
+
+
+class TestTimeline:
+    def test_rows_per_grid(self):
+        out = ascii_timeline([(0, 0, 1), (1, 1, 2)], 2)
+        lines = [l for l in out.splitlines() if l.startswith("grid")]
+        assert len(lines) == 2
+
+    def test_busy_marks(self):
+        out = ascii_timeline([(0, 0.0, 1.0)], 1, width=10)
+        assert "#" in out
+
+    def test_grid_out_of_range(self):
+        with pytest.raises(ValueError):
+            ascii_timeline([(5, 0, 1)], 2)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            ascii_timeline([], 2)
+
+    def test_zero_span(self):
+        out = ascii_timeline([(0, 1.0, 1.0)], 1)
+        assert "grid  0" in out
