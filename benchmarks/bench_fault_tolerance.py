@@ -1,0 +1,208 @@
+"""Fault-tolerance study (beyond the paper's tables).
+
+The paper motivates asynchrony as the way to tolerate stragglers and
+stale reads *by construction*; Coleman & Sosonkina's fault-tolerance
+results for accelerated asynchronous fixed-point methods predict the
+stronger property this bench measures: under crashes, corrupted
+corrections and message loss, a *guarded* asynchronous run degrades
+gracefully — it pays **extra corrections**, not divergence — while the
+same faults with the guard layer disabled diverge or stall.
+
+Two sweeps on the 27-point Poisson problem:
+
+- **engine sweep** (deterministic sequential executor): crash count x
+  correction-corruption rate, guards on vs off;
+- **distributed sweep** (discrete-event simulator): crash count x
+  corruption rate x message-drop probability, guards on vs off
+  (retransmission + restart + screening active when guarded).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.amg import SetupOptions, setup_hierarchy
+from repro.core import run_async_engine
+from repro.core.perfmodel import MachineParams
+from repro.distributed import NetworkModel, simulate_distributed
+from repro.problems import build_problem
+from repro.resilience import CrashFault, FaultPlan, GuardPolicy
+from repro.solvers import Multadd
+from repro.utils import format_table
+
+from _common import emit
+
+TOL = 1e-6
+TMAX = 60
+
+
+def _solver():
+    p = build_problem("27pt", 10, rhs_seed=0)
+    h = setup_hierarchy(
+        p.A, SetupOptions(coarsen_type="hmis", aggressive_levels=0, max_coarse=20)
+    )
+    return Multadd(h, smoother="jacobi", weight=0.9), p.b
+
+
+def _plan(ngrids: int, ncrash: int, corrupt_p: float, drop_p: float, seed: int):
+    crashes = tuple(
+        CrashFault(grid=1 + i, after=5) for i in range(min(ncrash, ngrids - 1))
+    )
+    return FaultPlan(
+        crashes=crashes,
+        corruption_probability=corrupt_p,
+        corruption_mode="nan",
+        drop_probability=drop_p,
+        seed=seed,
+    )
+
+
+def _outcome(res) -> str:
+    if res.diverged:
+        return "diverged"
+    if res.stalled:
+        return "stalled"
+    return "ok" if res.rel_residual < TOL else f"plateau"
+
+
+def test_fault_tolerance_engine(benchmark, results_dir):
+    def run():
+        solver, b = _solver()
+        guard = GuardPolicy(watchdog_microsteps=4000)
+        rows = []
+        for ncrash in (0, 1):
+            for corrupt_p in (0.0, 0.01, 0.05):
+                for guarded in (True, False):
+                    plan = _plan(solver.ngrids, ncrash, corrupt_p, 0.0, seed=0)
+                    res = run_async_engine(
+                        solver,
+                        b,
+                        tmax=TMAX,
+                        criterion="criterion2",
+                        alpha=0.5,
+                        seed=0,
+                        faults=plan if plan.active else None,
+                        guard=guard if guarded else None,
+                    )
+                    tele = res.telemetry
+                    rows.append(
+                        [
+                            ncrash,
+                            corrupt_p,
+                            "on" if guarded else "off",
+                            f"{res.rel_residual:.2e}",
+                            _outcome(res),
+                            f"{res.corrects:.0f}",
+                            tele.corrections_rejected,
+                            tele.restarts,
+                        ]
+                    )
+        return rows
+
+    rows = benchmark.pedantic(run, iterations=1, rounds=1)
+    emit(
+        results_dir,
+        "fault_tolerance_engine",
+        format_table(
+            [
+                "crashes",
+                "corrupt p",
+                "guards",
+                "relres",
+                "outcome",
+                "corrects",
+                "rejected",
+                "restarts",
+            ],
+            rows,
+            title=(
+                "Fault tolerance (engine, 27pt, criterion2, tmax "
+                f"{TMAX}): graceful degradation with guards on"
+            ),
+        ),
+    )
+    by_key = {(r[0], r[1], r[2]): r for r in rows}
+    # Guarded runs under simultaneous faults still converge below TOL...
+    assert by_key[(1, 0.01, "on")][4] == "ok"
+    # ... while the same faults unguarded diverge or stall.
+    assert by_key[(1, 0.01, "off")][4] in ("diverged", "stalled")
+    # Graceful degradation costs corrections, not divergence: the
+    # guarded faulty run spends at least as many corrections as the
+    # guarded fault-free one.
+    assert float(by_key[(1, 0.01, "on")][5]) >= float(by_key[(0, 0.0, "on")][5])
+
+
+def test_fault_tolerance_distributed(benchmark, results_dir):
+    def run():
+        solver, b = _solver()
+        guard = GuardPolicy(watchdog_timeout=1e-4, retransmit_timeout=1e-5)
+        mach = MachineParams(flop_rate=2e8, jitter=0.1)
+        rows = []
+        for ncrash in (0, 1):
+            for corrupt_p in (0.0, 0.01):
+                for drop_p in (0.0, 0.05, 0.2):
+                    for guarded in (True, False):
+                        plan = _plan(solver.ngrids, ncrash, corrupt_p, drop_p, seed=0)
+                        res = simulate_distributed(
+                            solver,
+                            b,
+                            tmax=TMAX,
+                            strategy="global",
+                            network=NetworkModel(seed=0),
+                            machine=mach,
+                            nthreads_total=4,
+                            criterion="criterion2",
+                            seed=0,
+                            # Unguarded crashed runs never satisfy
+                            # criterion2; a tight event budget turns
+                            # them into fast "stalled" rows.
+                            max_events=120_000,
+                            faults=plan if plan.active else None,
+                            guard=guard if guarded else None,
+                        )
+                        tele = res.telemetry
+                        rows.append(
+                            [
+                                ncrash,
+                                corrupt_p,
+                                drop_p,
+                                "on" if guarded else "off",
+                                f"{res.rel_residual:.2e}",
+                                _outcome(res),
+                                f"{res.corrects:.0f}",
+                                tele.retransmissions,
+                                tele.restarts,
+                            ]
+                        )
+        return rows
+
+    rows = benchmark.pedantic(run, iterations=1, rounds=1)
+    emit(
+        results_dir,
+        "fault_tolerance_distributed",
+        format_table(
+            [
+                "crashes",
+                "corrupt p",
+                "drop p",
+                "guards",
+                "relres",
+                "outcome",
+                "corrects",
+                "retx",
+                "restarts",
+            ],
+            rows,
+            title=(
+                "Fault tolerance (distributed, 27pt, criterion2, tmax "
+                f"{TMAX}): crash x corruption x drop sweep"
+            ),
+        ),
+    )
+    by_key = {(r[0], r[1], r[2], r[3]): r for r in rows}
+    # The acceptance triple: 1 crash + 1% corruption + 5% drop.
+    assert by_key[(1, 0.01, 0.05, "on")][5] == "ok"
+    assert by_key[(1, 0.01, 0.05, "off")][5] in ("diverged", "stalled")
+    # Message loss alone never deadlocks an asynchronous method; with
+    # retransmission it does not even cost accuracy at this budget.
+    assert by_key[(0, 0.0, 0.2, "on")][5] == "ok"

@@ -14,6 +14,10 @@ Examples
     python -m repro setup --set 27pt --size 12 --aggressive 1
     python -m repro solve --set 7pt --size 12 --method multadd --run-async \\
         --rescomp local --write lock --tmax 20 --alpha 0.5
+    python -m repro solve --set 27pt --size 8 --run-async --tmax 40 \\
+        --faults "crash:1@5;corrupt:p=0.01" --guards
+    python -m repro solve --set 7pt --size 8 --run-async --backend distributed \\
+        --faults "drop:p=0.05" --guards --tmax 20
     python -m repro models --set 27pt --size 10 --model full_res --delta 4
     python -m repro table1 --set 7pt --size 10 --smoother jacobi --tol 1e-6
 """
@@ -34,8 +38,11 @@ from .core import (
     simulate_full_async_solution,
     simulate_semi_async,
 )
+from .core import run_threaded
+from .distributed import NetworkModel, simulate_distributed
 from .experiments import TABLE1_METHODS, paper_hierarchy, table1_entry
 from .problems import TEST_SETS, build_problem
+from .resilience import GuardPolicy, parse_fault_spec
 from .solvers import AFACx, BPX, Multadd, MultiplicativeMultigrid
 from .utils import format_table
 
@@ -97,10 +104,46 @@ def _make_solver(args, hierarchy):
 def _cmd_solve(args) -> int:
     problem, hierarchy = _build(args)
     solver = _make_solver(args, hierarchy)
+    faults = None
+    if args.faults:
+        try:
+            faults = parse_fault_spec(args.faults, seed=args.seed)
+        except ValueError as exc:
+            print(f"error: bad --faults spec: {exc}", file=sys.stderr)
+            return 2
+    guard = GuardPolicy() if args.guards else None
+    if (faults is not None or guard is not None) and not args.run_async:
+        print("error: --faults/--guards require --run-async", file=sys.stderr)
+        return 2
     if args.run_async:
         if args.method == "mult":
             print("error: the multiplicative method cannot run asynchronously", file=sys.stderr)
             return 2
+        try:
+            res, label = _dispatch_async(args, solver, problem, faults, guard)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        stalled = getattr(res, "stalled", False)
+        print(
+            f"{label}: relres = {res.rel_residual:.6e}, "
+            f"corrects = {res.corrects:.1f}, diverged = {res.diverged}, "
+            f"stalled = {stalled}"
+        )
+        if faults is not None or guard is not None:
+            print(f"faults/guards: {res.telemetry.summary()}")
+    else:
+        res = solver.solve(problem.b, tmax=args.tmax)
+        print(
+            f"sync {args.method}: relres after {res.cycles} cycles = "
+            f"{res.final_relres:.6e}, diverged = {res.diverged}"
+        )
+    return 0
+
+
+def _dispatch_async(args, solver, problem, faults, guard):
+    """Run the chosen async backend; returns (result, display label)."""
+    if args.backend == "engine":
         res = run_async_engine(
             solver,
             problem.b,
@@ -110,19 +153,36 @@ def _cmd_solve(args) -> int:
             criterion=args.criterion,
             alpha=args.alpha,
             seed=args.seed,
+            faults=faults,
+            guard=guard,
         )
-        print(
-            f"async {args.method} ({args.rescomp}-res, {args.write}-write, "
-            f"{args.criterion}): relres = {res.rel_residual:.6e}, "
-            f"corrects = {res.corrects:.1f}, diverged = {res.diverged}"
+        label = f"async {args.method} ({args.rescomp}-res, {args.write}-write, {args.criterion})"
+    elif args.backend == "threaded":
+        res = run_threaded(
+            solver,
+            problem.b,
+            tmax=args.tmax,
+            rescomp=args.rescomp,
+            write=args.write,
+            criterion=args.criterion,
+            faults=faults,
+            guard=guard,
         )
-    else:
-        res = solver.solve(problem.b, tmax=args.tmax)
-        print(
-            f"sync {args.method}: relres after {res.cycles} cycles = "
-            f"{res.final_relres:.6e}, diverged = {res.diverged}"
+        label = f"threaded {args.method} ({args.rescomp}-res, {args.write}-write, {args.criterion})"
+    else:  # distributed
+        res = simulate_distributed(
+            solver,
+            problem.b,
+            tmax=args.tmax,
+            strategy="global" if args.rescomp != "local" else "local",
+            network=NetworkModel(seed=args.seed),
+            criterion=args.criterion,
+            seed=args.seed,
+            faults=faults,
+            guard=guard,
         )
-    return 0
+        label = f"distributed {args.method} ({res.strategy}-res, {args.criterion})"
+    return res, label
 
 
 def _cmd_models(args) -> int:
@@ -204,6 +264,28 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--criterion", choices=("criterion1", "criterion2"), default="criterion2")
     p.add_argument("--alpha", type=float, default=0.5)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--backend",
+        choices=("engine", "threaded", "distributed"),
+        default="engine",
+        help="async executor: deterministic engine, real threads, or "
+        "the distributed discrete-event simulator",
+    )
+    p.add_argument(
+        "--faults",
+        default=None,
+        metavar="SPEC",
+        help="fault-injection spec, e.g. "
+        "'crash:1@5;corrupt:p=0.01,mode=nan;drop:p=0.05' "
+        "(kinds: crash, stall, corrupt, drop, dup, delay)",
+    )
+    p.add_argument(
+        "--guards",
+        action=argparse.BooleanOptionalAction,
+        default=False,
+        help="enable the resilience guard layer (screening, "
+        "checkpoint/rollback, watchdog restart, retransmission)",
+    )
     p.set_defaults(func=_cmd_solve)
 
     p = sub.add_parser("models", help="run a Section-III model simulator")

@@ -38,11 +38,12 @@ Write policies:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Generator, List, Optional, Tuple
+from typing import Callable, Generator, List, Optional, Tuple
 
 import numpy as np
 
 from ..linalg import two_norm
+from ..resilience import FaultInjector, FaultPlan, FaultTelemetry, Guard, GuardPolicy
 from .criteria import Criterion1, Criterion2
 
 __all__ = ["AsyncEngineResult", "run_async_engine"]
@@ -77,6 +78,14 @@ class AsyncEngineResult:
     Valid with criterion 2, where a longer run passes through exactly
     the states of shorter runs: the snapshot at ``min(counts) == c`` is
     what a run with ``tmax = c`` would have produced."""
+    stalled: bool = False
+    """True when a fault-injected run ended without satisfying its
+    stopping criterion (a permanently dead grid under criterion 2, or a
+    stall past the micro-step budget) — the paper's "no deadlock"
+    claim shows up here as a stalled-but-finite run, never a hang."""
+    telemetry: FaultTelemetry = field(default_factory=FaultTelemetry)
+    """Injected-fault and guard-action counters (all zero for a
+    fault-free run)."""
 
     @property
     def corrects(self) -> float:
@@ -91,6 +100,8 @@ def _grid_coroutine(
     nchunks: int,
     n: int,
     rows: Tuple[int, int],
+    correction_fn: Optional[Callable[[int, np.ndarray], np.ndarray]] = None,
+    r0: Optional[np.ndarray] = None,
 ) -> Generator:
     """Coroutine for grid ``k``; yields (op, payload) micro-steps.
 
@@ -109,9 +120,12 @@ def _grid_coroutine(
         if bounds[i + 1] > bounds[i]
     ]
 
-    r_local = b.copy()  # Initialize r^k = b (Algorithm 5 line 1)
+    correct = solver.correction if correction_fn is None else correction_fn
+    # Initialize r^k = b (Algorithm 5 line 1); a restarted grid is
+    # re-synced with the residual of the shared iterate instead.
+    r_local = b.copy() if r0 is None else np.array(r0, dtype=np.float64)
     while True:
-        e = solver.correction(k, r_local)
+        e = correct(k, r_local)
         # --- write the correction to the shared iterate -------------
         for lo, hi in chunks:
             yield ("add_x", lo, hi, e[lo:hi])
@@ -166,6 +180,8 @@ def run_async_engine(
     divergence_threshold: float = 1e6,
     track_trace: bool = False,
     checkpoints: Optional[List[int]] = None,
+    faults: Optional[FaultPlan] = None,
+    guard: Optional[GuardPolicy] = None,
 ) -> AsyncEngineResult:
     """Run asynchronous additive multigrid (Algorithm 5), sequentially.
 
@@ -191,6 +207,19 @@ def run_async_engine(
         corrects)`` — requires ``criterion="criterion2"`` (grids keep
         correcting, so a long run's prefix equals a shorter run).  Used
         by the Table-I harness to sweep tolerance crossings in one run.
+    faults:
+        Optional :class:`~repro.resilience.FaultPlan`.  Injection is
+        seeded and happens at micro-step granularity: corruption when a
+        grid's correction is computed, crashes and stalls at its
+        ``done_correction`` boundary (stall durations are micro-steps).
+        The run stays deterministic: same solver/seeds/plan, same run.
+    guard:
+        Optional :class:`~repro.resilience.GuardPolicy`.  Screens every
+        correction before it is committed, checkpoints the iterate
+        every ``checkpoint_interval`` V-cycle-equivalents with
+        rollback on residual spikes/divergence, and runs a staleness
+        watchdog that restarts (re-syncs) grids that stopped making
+        progress.  ``None`` = no protection (the ablation).
     """
     if checkpoints and criterion != "criterion2":
         raise ValueError("checkpoints require criterion2 semantics")
@@ -222,16 +251,52 @@ def run_async_engine(
     rows = [(int(row_bounds[k]), int(row_bounds[k + 1])) for k in range(ngrids)]
 
     eff_chunks = 1 if write == "lock" else nchunks
-    gens = [
-        _grid_coroutine(solver, k, b, rescomp, eff_chunks, n, rows[k])
-        for k in range(ngrids)
-    ]
+    nb = two_norm(b) or 1.0
+
+    telemetry = FaultTelemetry()
+    injector = (
+        FaultInjector(faults, ngrids)
+        if faults is not None and faults.active
+        else None
+    )
+    grd = Guard(guard, nb, telemetry) if guard is not None else None
+
+    corr_fn: Optional[Callable[[int, np.ndarray], np.ndarray]] = None
+    if injector is not None or grd is not None:
+
+        def corr_fn(kk: int, r_in: np.ndarray) -> np.ndarray:
+            e = solver.correction(kk, r_in)
+            if injector is not None:
+                e = injector.corrupt(e, telemetry)
+            if grd is not None:
+                screened = grd.screen(e)
+                # A rejected correction is simply skipped: the grid
+                # recomputes next round (Coleman-style extra work, not
+                # divergence).
+                e = np.zeros(n) if screened is None else screened
+            return e
+
+    def spawn(k: int, r0: Optional[np.ndarray] = None) -> Generator:
+        return _grid_coroutine(
+            solver,
+            k,
+            b,
+            rescomp,
+            eff_chunks,
+            n,
+            rows[k],
+            correction_fn=corr_fn,
+            r0=r0,
+        )
+
+    gens = [spawn(k) for k in range(ngrids)]
     running = [True] * ngrids
+    crashed = [False] * ngrids  # fail-stop injected, awaiting watchdog
+    stall_until = [0] * ngrids  # micro-step when a stalled grid resumes
     # Prime each coroutine to its first yield; `requests[k]` always
     # holds grid k's currently pending micro-op.
     requests: List[Optional[tuple]] = [g.send(None) for g in gens]
 
-    nb = two_norm(b) or 1.0
     trace: List[float] = []
     cps = sorted(checkpoints) if checkpoints else []
     cp_idx = 0
@@ -239,14 +304,34 @@ def run_async_engine(
     activity: List[Tuple[int, int, int]] = []
     last_done = [0] * ngrids
     micro = 0
-    max_micro = 50 * tmax * ngrids * (eff_chunks * 3 + 4)
+    ops_per_corr = eff_chunks * 3 + 4
+    max_micro = 50 * tmax * ngrids * ops_per_corr
+    # Watchdog horizon: a healthy grid completes a correction roughly
+    # every (ngrids / alpha) * ops_per_corr micro-steps; 50x that in
+    # V-cycle units is far beyond any fair scheduler gap.
+    wd_micro: Optional[int] = None
+    if grd is not None and guard.watchdog:
+        wd_micro = (
+            guard.watchdog_microsteps
+            if guard.watchdog_microsteps is not None
+            else 50 * ngrids * ops_per_corr
+        )
+    ckpt_every = guard.checkpoint_interval * ngrids if grd is not None else 0
     diverged = False
-    while any(running) and not diverged:
-        alive = [k for k in range(ngrids) if running[k]]
+    stalled = False
+    while not diverged:
+        alive = [k for k in range(ngrids) if running[k] and not crashed[k]]
         if not alive:
             break
-        w = speeds[alive]
-        k = int(rng.choice(alive, p=w / w.sum()))
+        ready = [k for k in alive if stall_until[k] <= micro]
+        if not ready:
+            # Everyone left is mid-stall: jump the logical clock to the
+            # earliest resume point (no grid waits on another — the
+            # scheduler just has nothing to run).
+            micro = min(stall_until[k] for k in alive)
+            continue
+        w = speeds[ready]
+        k = int(rng.choice(ready, p=w / w.sum()))
         op = requests[k]
         g = gens[k]
         send_val = None
@@ -284,28 +369,82 @@ def run_async_engine(
             if crit.grid_done(k):
                 running[k] = False
                 g.close()
+            # --- fault injection at the correction boundary ---------
+            if injector is not None and running[k]:
+                completed = int(crit.counts[k])
+                if injector.crash_due(k, completed):
+                    crashed[k] = True
+                    telemetry.bump("injected_crashes")
+                else:
+                    dur = injector.stall_due(k, completed)
+                    if dur is not None:
+                        stall_until[k] = micro + int(dur)
+                        telemetry.bump("injected_stalls")
+            # --- guard: periodic checkpoint / spike rollback --------
+            if ckpt_every and int(crit.counts.sum()) % ckpt_every == 0:
+                rel_now = float(two_norm(b - solver.A @ x) / nb)
+                action, x_restore = grd.checkpoint_or_rollback(x, rel_now)
+                if action == "rollback":
+                    x[:] = x_restore
+                    r[:] = b - solver.A @ x
+            # --- guard: staleness watchdog + restart ----------------
+            if wd_micro is not None:
+                for j in range(ngrids):
+                    if j == k or not running[j] or stall_until[j] > micro:
+                        continue
+                    if micro - last_done[j] <= wd_micro:
+                        continue
+                    telemetry.bump("watchdog_detections")
+                    if grd.try_restart():
+                        # Replica re-sync: the restarted grid starts
+                        # from the residual of the current iterate.
+                        gens[j] = spawn(j, r0=b - solver.A @ x)
+                        requests[j] = gens[j].send(None)
+                        crashed[j] = False
+                        last_done[j] = micro
+                        if guard.restart_delay:
+                            stall_until[j] = micro + int(guard.restart_delay)
+                    else:
+                        running[j] = False  # dead for good
             # Divergence guard: corrections exploding means the run is
-            # lost; stop early like the paper's dagger entries.
+            # lost; a guarded run first spends its rollback budget.
             xmax = float(np.abs(x).max()) if n else 0.0
             if not np.isfinite(xmax) or xmax > divergence_threshold * max(nb, 1.0):
-                diverged = True
+                recovered = False
+                if grd is not None:
+                    action, x_restore = grd.checkpoint_or_rollback(x, np.inf)
+                    if action == "rollback":
+                        x[:] = x_restore
+                        r[:] = b - solver.A @ x
+                        recovered = True
+                if not recovered:
+                    diverged = True
         else:  # pragma: no cover - defensive
             raise RuntimeError(f"unknown micro-op {kind!r}")
-        if running[k]:
+        if running[k] and not crashed[k]:
             requests[k] = g.send(send_val)
         micro += 1
         if micro > max_micro:
+            if injector is not None:
+                stalled = True
+                break
             raise RuntimeError("engine exceeded micro-step budget")
 
     rel = two_norm(b - solver.A @ x) / nb
+    final_diverged = diverged or not np.isfinite(rel) or rel > divergence_threshold
+    if injector is not None and not final_diverged and not crit.all_done():
+        stalled = True
+    stalled = stalled and not final_diverged
     return AsyncEngineResult(
         x=x,
         rel_residual=rel,
         counts=crit.counts.copy(),
         micro_steps=micro,
         speeds=speeds,
-        diverged=diverged or not np.isfinite(rel) or rel > divergence_threshold,
+        diverged=final_diverged,
         residual_trace=trace,
         activity_trace=activity,
         checkpoint_results=cp_results,
+        stalled=stalled,
+        telemetry=telemetry,
     )

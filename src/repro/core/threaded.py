@@ -22,12 +22,14 @@ model and is computed there.
 from __future__ import annotations
 
 import threading
+import time as _time
 from dataclasses import dataclass, field
 from typing import List, Optional
 
 import numpy as np
 
 from ..linalg import two_norm
+from ..resilience import FaultInjector, FaultPlan, FaultTelemetry, Guard, GuardPolicy
 from .criteria import Criterion1, Criterion2
 from .writes import make_write_policy
 
@@ -50,6 +52,12 @@ class ThreadedResult:
     """``(wall_seconds, rel_residual)`` sampled by the monitor thread
     when ``monitor_interval`` was set — the paper's residual-vs-time
     measurement (taken outside the solve path, like its timestamping)."""
+    stalled: bool = False
+    """True when the run ended (supervisor stop or timeout) without
+    satisfying its stopping criterion — e.g. a worker fail-stopped and
+    no restart budget remained."""
+    telemetry: FaultTelemetry = field(default_factory=FaultTelemetry)
+    """Injected-fault and guard-action counters (zero when fault-free)."""
 
     @property
     def corrects(self) -> float:
@@ -75,18 +83,29 @@ def run_threaded(
     divergence_threshold: float = 1e6,
     timeout: float = 600.0,
     monitor_interval: Optional[float] = None,
+    faults: Optional[FaultPlan] = None,
+    guard: Optional[GuardPolicy] = None,
 ) -> ThreadedResult:
     """Run asynchronous additive multigrid with real threads.
 
     Parameters mirror :func:`repro.core.engine.run_async_engine`;
     ``write`` additionally accepts ``"unsafe"`` for the lost-update
-    ablation.  ``timeout`` bounds the wall-clock wait for stragglers
-    (a diverged run whose corrections overflow is cut short by the
-    divergence guard inside each worker).  ``monitor_interval`` (in
-    seconds) starts a sampling thread recording the true relative
-    residual over wall-clock time into ``residual_samples`` — the
-    paper's residual-vs-time measurement, taken outside the solve loop
-    so it adds no synchronization (its racy reads only blur samples).
+    ablation.  ``timeout`` bounds the whole run's wall-clock; worker
+    liveness is additionally tracked *per worker* by a supervisor loop
+    (heartbeat timestamps), replacing the old single sequential
+    ``join`` — a crashed or hung worker is noticed within
+    ``guard.watchdog_timeout`` seconds rather than after every other
+    worker has been joined.  ``monitor_interval`` (in seconds) starts a
+    sampling thread recording the true relative residual over
+    wall-clock time into ``residual_samples`` — the paper's
+    residual-vs-time measurement, taken outside the solve loop so it
+    adds no synchronization (its racy reads only blur samples).
+
+    ``faults`` injects real-thread faults (fail-stop worker deaths,
+    ``time.sleep`` stalls, correction corruption; stall durations are
+    seconds).  ``guard`` screens corrections, checkpoints/rolls back
+    the shared iterate from the supervisor, and restarts dead workers
+    re-synced from the current shared state.
     """
     if rescomp not in _RESCOMP:
         raise ValueError(f"rescomp must be one of {_RESCOMP}")
@@ -117,11 +136,45 @@ def run_threaded(
     errors_lock = threading.Lock()
     nb = two_norm(b) or 1.0
 
-    def worker(k: int) -> None:
-        r_local = b.copy()
+    telemetry = FaultTelemetry()
+    injector = (
+        FaultInjector(faults, ngrids)
+        if faults is not None and faults.active
+        else None
+    )
+    grd = Guard(guard, nb, telemetry) if guard is not None else None
+
+    t0 = _time.perf_counter()
+    deadline = t0 + timeout
+    # Per-worker liveness: workers stamp their heartbeat each loop
+    # iteration; the supervisor declares a worker hung/dead from these
+    # instead of blocking in one long join.
+    heartbeats = [t0] * ngrids
+
+    def worker(k: int, resync: bool = False) -> None:
+        # A restarted worker re-syncs from the shared iterate instead
+        # of assuming the initial residual b (its replica is gone).
+        r_local = (b - A @ xpol.read(x)) if resync else b.copy()
         try:
             while not crit.grid_done(k) and not stop_event.is_set():
+                heartbeats[k] = _time.perf_counter()
+                if injector is not None:
+                    completed = int(crit.counts[k])
+                    if injector.crash_due(k, completed):
+                        telemetry.bump("injected_crashes")
+                        return  # fail-stop: the thread just dies
+                    dur = injector.stall_due(k, completed)
+                    if dur is not None:
+                        telemetry.bump("injected_stalls")
+                        _time.sleep(
+                            min(float(dur), max(0.0, deadline - _time.perf_counter()))
+                        )
                 e = solver.correction(k, r_local)
+                if injector is not None:
+                    e = injector.corrupt(e, telemetry)
+                if grd is not None:
+                    screened = grd.screen(e)
+                    e = np.zeros(n) if screened is None else screened
                 xpol.add(x, e)
                 if rescomp == "rupdate":
                     rpol.add(r, -(A @ e))
@@ -137,6 +190,7 @@ def run_threaded(
                         rpol.assign_slice(r, lo, hi, fresh)
                     r_local = rpol.read(r)
                 crit.record(k)
+                heartbeats[k] = _time.perf_counter()
                 # Divergence guard on the *local* view — no extra sync.
                 m = float(np.abs(r_local).max()) if n else 0.0
                 if not np.isfinite(m) or m > divergence_threshold * max(nb, 1.0):
@@ -146,8 +200,9 @@ def run_threaded(
                 errors.append(f"grid {k}: {exc!r}")
             stop_event.set()
 
-    threads = [threading.Thread(target=worker, args=(k,), daemon=True) for k in range(ngrids)]
-    import time as _time
+    threads = [
+        threading.Thread(target=worker, args=(k,), daemon=True) for k in range(ngrids)
+    ]
 
     samples: List[tuple] = []
     monitor_stop = threading.Event()
@@ -159,7 +214,6 @@ def run_threaded(
             samples.append((now, float(rel_s)))
             monitor_stop.wait(monitor_interval)
 
-    t0 = _time.perf_counter()
     mon = None
     if monitor_interval is not None:
         if monitor_interval <= 0:
@@ -168,24 +222,97 @@ def run_threaded(
         mon.start()
     for th in threads:
         th.start()
+
+    # ------------------------------------------------------------------
+    # Supervisor loop: per-worker liveness, restart, checkpoint/rollback.
+    # Replaces the old sequential join(timeout) per thread, whose worst
+    # case waited ngrids * timeout and could not tell *which* worker was
+    # stuck.
+    # ------------------------------------------------------------------
+    dead = [False] * ngrids  # exited without meeting the criterion, no restart
+    hung_flagged = [False] * ngrids
+    stalled = False
+    poll_s = 0.002
+    next_ckpt = (
+        t0 + guard.checkpoint_period_s if grd is not None else float("inf")
+    )
+    while _time.perf_counter() < deadline:
+        if crit.all_done() or stop_event.is_set():
+            break
+        now = _time.perf_counter()
+        for k in range(ngrids):
+            th = threads[k]
+            if th.is_alive():
+                # Hung-worker watchdog: alive but silent past the
+                # per-worker timeout.
+                if (
+                    grd is not None
+                    and guard.watchdog
+                    and not hung_flagged[k]
+                    and not crit.grid_done(k)
+                    and now - heartbeats[k] > guard.watchdog_timeout
+                ):
+                    hung_flagged[k] = True
+                    telemetry.bump("watchdog_detections")
+                continue
+            if crit.grid_done(k) or dead[k]:
+                continue
+            # Worker exited early (fail-stop): restart while the
+            # budget lasts, re-synced from the shared state.
+            telemetry.bump("watchdog_detections")
+            if grd is not None and grd.try_restart():
+                if guard.restart_delay:
+                    _time.sleep(guard.restart_delay)
+                threads[k] = threading.Thread(
+                    target=worker, args=(k, True), daemon=True
+                )
+                heartbeats[k] = _time.perf_counter()
+                threads[k].start()
+            else:
+                dead[k] = True
+        if any(dead):
+            # A permanently dead grid can never satisfy the criterion;
+            # stop the survivors instead of spinning to the deadline.
+            stalled = True
+            stop_event.set()
+            break
+        if not any(th.is_alive() for th in threads):
+            break
+        if grd is not None and now >= next_ckpt:
+            x_snap = xpol.read(x)
+            rel_now = float(two_norm(b - A @ x_snap) / nb)
+            action, x_restore = grd.checkpoint_or_rollback(x_snap, rel_now)
+            if action == "rollback":
+                xpol.assign_slice(x, 0, n, x_restore)
+                rpol.assign_slice(r, 0, n, b - A @ x_restore)
+            next_ckpt = _time.perf_counter() + guard.checkpoint_period_s
+        _time.sleep(poll_s)
+
+    timed_out = _time.perf_counter() >= deadline and any(
+        th.is_alive() for th in threads
+    )
+    if timed_out or stalled:
+        stop_event.set()
     for th in threads:
-        th.join(timeout=timeout)
+        th.join(timeout=5.0)
     wall = _time.perf_counter() - t0
     if mon is not None:
         monitor_stop.set()
         mon.join(timeout=5.0)
-    timed_out = any(th.is_alive() for th in threads)
-    if timed_out:
-        stop_event.set()
-        for th in threads:
-            th.join(timeout=5.0)
 
     rel = two_norm(b - A @ x) / nb
     diverged = (
-        (stop_event.is_set() and not timed_out and not errors)
+        (stop_event.is_set() and not timed_out and not stalled and not errors)
         or not np.isfinite(rel)
         or rel > divergence_threshold
     )
+    if (
+        not diverged
+        and (timed_out or (faults is not None and faults.active))
+        and not crit.all_done()
+    ):
+        stalled = True
+    stalled = stalled and not diverged
     return ThreadedResult(
         x=x,
         rel_residual=rel,
@@ -194,4 +321,6 @@ def run_threaded(
         diverged=bool(diverged),
         errors=errors,
         residual_samples=samples,
+        stalled=bool(stalled),
+        telemetry=telemetry,
     )

@@ -40,7 +40,10 @@ class NetworkModel:
         no retransmission — the regime an asynchronous method must
         tolerate by design, since it never waits for acknowledgements).
     seed:
-        Seed of the jitter and drop processes.
+        Seed of the jitter and drop processes.  The two draw from
+        *independent* streams spawned from this seed, so enabling
+        jitter never perturbs the drop sequence for a given seed (and
+        vice versa).
     """
 
     latency: float = 1.0e-6
@@ -62,7 +65,9 @@ class NetworkModel:
             if np.any(m < 0):
                 raise ValueError("latencies must be non-negative")
             object.__setattr__(self, "latency_matrix", m)
-        self._rng = np.random.default_rng(self.seed)
+        jitter_stream, drop_stream = np.random.SeedSequence(self.seed).spawn(2)
+        self._rng_jitter = np.random.default_rng(jitter_stream)
+        self._rng_drop = np.random.default_rng(drop_stream)
 
     def link_latency(self, src: int, dst: int) -> float:
         """Base latency of the (src, dst) link."""
@@ -79,11 +84,11 @@ class NetworkModel:
             raise ValueError("nbytes must be non-negative")
         lat = self.link_latency(src, dst)
         if self.jitter > 0:
-            lat *= 1.0 + abs(float(self._rng.normal(0.0, self.jitter)))
+            lat *= 1.0 + abs(float(self._rng_jitter.normal(0.0, self.jitter)))
         return lat + nbytes / self.bandwidth
 
     def dropped(self) -> bool:
         """Sample whether the next message is lost in transit."""
         if self.drop_probability == 0.0:
             return False
-        return bool(self._rng.uniform() < self.drop_probability)
+        return bool(self._rng_drop.uniform() < self.drop_probability)

@@ -25,6 +25,22 @@ to distributed memory:
 The *true* iterate accumulates every correction exactly (as in the
 Section-III models), so the reported relative residual is exact; the
 asynchrony lives in what each process *reads*.
+
+Faults and recovery are first-class events (``faults=`` /
+``guard=``, see :mod:`repro.resilience`):
+
+- a **fail-stop crash** removes a process from the simulation; with a
+  guard, the heartbeat watchdog schedules a ``restart`` event
+  (detection latency + restart delay) that re-syncs the replica from a
+  peer (one message transfer) and resumes computing;
+- a **dropped transmission** (sampled per attempt from the network's
+  drop process plus the plan's extra loss) triggers **retransmission**
+  events with exponential backoff up to ``max_retransmits``;
+- **duplicated** deliveries are discarded by sequence-number dedup
+  when the guard enables it — without it, a duplicated ``global-res``
+  increment is applied twice and silently corrupts the replica;
+- **corrupted corrections** (NaN/Inf/scaled entries) are screened by
+  the guard before they touch the true iterate or any message.
 """
 
 from __future__ import annotations
@@ -32,13 +48,14 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 import numpy as np
 
 from ..core.perfmodel import MachineParams
 from ..linalg import two_norm
 from ..partition import partition_threads
+from ..resilience import FaultInjector, FaultPlan, FaultTelemetry, Guard, GuardPolicy
 from .network import NetworkModel
 
 __all__ = ["DistributedResult", "simulate_distributed"]
@@ -58,7 +75,16 @@ class DistributedResult:
     strategy: str
     flops_total: float = 0.0
     dropped: int = 0
-    """Messages lost in transit (``NetworkModel.drop_probability``)."""
+    """Transmissions lost in transit (network drop process plus any
+    plan-level loss; retransmitted attempts that are dropped again
+    count each time)."""
+    diverged: bool = False
+    stalled: bool = False
+    """True when the run ended (event budget or drained queue) without
+    every process reaching ``tmax`` — e.g. a crashed process with no
+    restart budget."""
+    telemetry: FaultTelemetry = field(default_factory=FaultTelemetry)
+    """Injected-fault and guard-action counters (zero when fault-free)."""
     residual_trace: List[tuple] = field(default_factory=list)
     """``(sim_time, rel_residual)`` samples taken at each correction."""
     activity_trace: List[tuple] = field(default_factory=list)
@@ -82,6 +108,9 @@ def simulate_distributed(
     seed: int = 0,
     track_trace: bool = False,
     max_events: int = 2_000_000,
+    divergence_threshold: float = 1e6,
+    faults: Optional[FaultPlan] = None,
+    guard: Optional[GuardPolicy] = None,
 ) -> DistributedResult:
     """Simulate distributed asynchronous additive multigrid.
 
@@ -102,6 +131,15 @@ def simulate_distributed(
         ``"criterion1"`` — each process stops after ``tmax`` own
         corrections; ``"criterion2"`` — processes keep correcting
         until every process reached ``tmax``.
+    faults:
+        Optional :class:`~repro.resilience.FaultPlan`; crash/stall
+        times are simulated seconds, message faults apply per
+        transmission.
+    guard:
+        Optional :class:`~repro.resilience.GuardPolicy`; enables
+        correction screening, checkpoint/rollback of the true iterate,
+        crash detection + restart (replica re-sync), retransmission
+        with backoff, and duplicate suppression.
     """
     if strategy not in _STRATEGIES:
         raise ValueError(f"strategy must be one of {_STRATEGIES}")
@@ -125,14 +163,23 @@ def simulate_distributed(
     else:
         replicas = [np.zeros(n) for _ in range(ngrids)]
 
+    telemetry = FaultTelemetry()
+    injector = (
+        FaultInjector(faults, ngrids)
+        if faults is not None and faults.active
+        else None
+    )
+    grd = Guard(guard, nb, telemetry) if guard is not None else None
+
     counts = np.zeros(ngrids, dtype=np.int64)
+    crashed = [False] * ngrids
     msg_bytes = 8.0 * n
     flops_total = 0.0
     messages = 0
     dropped = 0
     trace: List[tuple] = []
 
-    def correction_duration(k: int) -> float:
+    def correction_duration(k: int) -> Tuple[float, float]:
         flops = solver.correction_flops(k)
         if strategy == "local":
             flops += solver.residual_flops()
@@ -146,9 +193,48 @@ def simulate_distributed(
 
     # Event queue: (time, seq, kind, proc, payload)
     seq = itertools.count()
+    msg_ids = itertools.count()
     heap: List[tuple] = []
 
     activity: List[tuple] = []
+    # Sequence-number dedup (guard): message ids each process applied.
+    seen: List[set] = [set() for _ in range(ngrids)]
+
+    def transmit(src: int, dst: int, vec: np.ndarray, t: float, mid: int, attempt: int) -> None:
+        """One transmission attempt; drops trigger retransmission when
+        the guard allows, with exponential backoff."""
+        nonlocal messages, dropped
+        lost = net.dropped() or (injector is not None and injector.message_dropped())
+        if lost:
+            dropped += 1
+            if (
+                grd is not None
+                and guard.retransmit
+                and attempt < guard.max_retransmits
+            ):
+                backoff = guard.retransmit_timeout * (2.0**attempt)
+                heapq.heappush(
+                    heap,
+                    (t + backoff, next(seq), "retransmit", dst, (src, vec, mid, attempt + 1)),
+                )
+                telemetry.bump("retransmissions")
+            else:
+                telemetry.bump("messages_lost")
+            return
+        lat = net.transfer_time(src, dst, msg_bytes)
+        if injector is not None:
+            factor = injector.message_delay_factor()
+            if factor is not None:
+                lat *= factor
+                telemetry.bump("messages_delayed")
+        arr = t + lat
+        heapq.heappush(heap, (arr, next(seq), "msg", dst, (src, mid, vec)))
+        messages += 1
+        if injector is not None and injector.message_duplicated():
+            heapq.heappush(
+                heap, (arr + net.link_latency(src, dst), next(seq), "msg", dst, (src, mid, vec))
+            )
+            telemetry.bump("messages_duplicated")
 
     def start_compute(k: int, t: float) -> None:
         if strategy == "global":
@@ -157,24 +243,52 @@ def simulate_distributed(
             r_in = b - A @ replicas[k]
         e = solver.correction(k, r_in)
         dur, flops = correction_duration(k)
+        if injector is not None:
+            stall = injector.stall_due(k, int(counts[k]))
+            if stall is not None:
+                dur += float(stall)
+                telemetry.bump("injected_stalls")
         heapq.heappush(heap, (t + dur, next(seq), "done", k, e))
         activity.append((k, t, t + dur))
         nonlocal flops_total
         flops_total += flops
 
+    def resync_replica(k: int) -> None:
+        """Restart re-sync: fetch a consistent view of the current
+        state (modeled as a checkpoint transfer from a peer)."""
+        if strategy == "global":
+            replicas[k] = b - A @ x_true
+        else:
+            replicas[k] = x_true.copy()
+
     for k in range(ngrids):
         start_compute(k, 0.0)
 
+    ckpt_every = guard.checkpoint_interval * ngrids if grd is not None else 0
     wall = 0.0
     events = 0
-    while heap:
+    diverged = False
+    stalled = False
+    while heap and not diverged:
         t, _, kind, proc, payload = heapq.heappop(heap)
         wall = max(wall, t)
         events += 1
         if events > max_events:
+            if injector is not None:
+                stalled = True
+                break
             raise RuntimeError("distributed simulation exceeded event budget")
         if kind == "done":
+            if crashed[proc]:
+                continue  # stale event from before a crash (defensive)
             e = payload
+            if injector is not None:
+                e = injector.corrupt(e, telemetry)
+            if grd is not None:
+                screened = grd.screen(e)
+                # A rejected correction is discarded outright: the
+                # process just computes the next one from its replica.
+                e = np.zeros(n) if screened is None else screened
             x_true += e
             counts[proc] += 1
             if track_trace:
@@ -189,23 +303,81 @@ def simulate_distributed(
             for j in range(ngrids):
                 if j == proc:
                     continue
-                if net.dropped():
-                    dropped += 1
+                transmit(proc, j, out, t, next(msg_ids), attempt=0)
+            # --- divergence detection (guarded runs roll back below) -
+            m = float(np.abs(x_true).max()) if n else 0.0
+            unhealthy = not np.isfinite(m) or m > divergence_threshold * max(nb, 1.0)
+            # --- guard: periodic checkpoint / spike rollback ---------
+            if ckpt_every and int(counts.sum()) % ckpt_every == 0:
+                rel_now = float(two_norm(b - A @ x_true) / nb)
+                action, x_restore = grd.checkpoint_or_rollback(x_true, rel_now)
+                if action == "rollback":
+                    x_true = x_restore
+                    for j in range(ngrids):
+                        if not crashed[j]:
+                            resync_replica(j)
+                    unhealthy = False
+            if unhealthy:
+                recovered = False
+                if grd is not None:
+                    action, x_restore = grd.checkpoint_or_rollback(x_true, np.inf)
+                    if action == "rollback":
+                        x_true = x_restore
+                        for j in range(ngrids):
+                            if not crashed[j]:
+                                resync_replica(j)
+                        recovered = True
+                if not recovered:
+                    diverged = True
                     continue
-                arr = t + net.transfer_time(proc, j, msg_bytes)
-                heapq.heappush(heap, (arr, next(seq), "msg", j, out))
-                messages += 1
+            # --- fail-stop crash at the correction boundary ----------
+            if injector is not None and injector.crash_due(proc, int(counts[proc])):
+                crashed[proc] = True
+                telemetry.bump("injected_crashes")
+                if grd is not None and guard.watchdog and grd.try_restart():
+                    # The heartbeat watchdog notices the silence after
+                    # watchdog_timeout; the replacement comes up
+                    # restart_delay later.
+                    telemetry.bump("watchdog_detections")
+                    t_up = t + guard.watchdog_timeout + guard.restart_delay
+                    heapq.heappush(heap, (t_up, next(seq), "restart", proc, None))
+                continue
             keep_going = (
-                counts[proc] < tmax
-                if criterion == "criterion1"
-                else not all_done()
+                counts[proc] < tmax if criterion == "criterion1" else not all_done()
             )
             if keep_going:
                 start_compute(proc, t)
+        elif kind == "restart":
+            crashed[proc] = False
+            # Replica re-sync: one state transfer from a peer.
+            peer = (proc + 1) % ngrids
+            t_sync = t + net.transfer_time(peer, proc, msg_bytes)
+            resync_replica(proc)
+            seen[proc].clear()
+            keep_going = (
+                counts[proc] < tmax if criterion == "criterion1" else not all_done()
+            )
+            if keep_going:
+                start_compute(proc, t_sync)
+        elif kind == "retransmit":
+            src, vec, mid, attempt = payload
+            transmit(src, proc, vec, t, mid, attempt)
         else:  # msg
-            replicas[proc] += payload
+            if crashed[proc]:
+                continue  # delivered to a dead process
+            src, mid, vec = payload
+            if grd is not None and guard.dedup_messages:
+                if mid in seen[proc]:
+                    telemetry.bump("duplicates_discarded")
+                    continue
+                seen[proc].add(mid)
+            replicas[proc] += vec
 
     rel = two_norm(b - A @ x_true) / nb
+    diverged = bool(diverged or not np.isfinite(rel) or rel > divergence_threshold)
+    if injector is not None and not diverged and not all_done():
+        stalled = True
+    stalled = stalled and not diverged
     return DistributedResult(
         x=x_true,
         rel_residual=float(rel),
@@ -214,6 +386,9 @@ def simulate_distributed(
         messages=messages,
         strategy=strategy,
         dropped=dropped,
+        diverged=diverged,
+        stalled=stalled,
+        telemetry=telemetry,
         flops_total=flops_total,
         residual_trace=trace,
         activity_trace=activity,

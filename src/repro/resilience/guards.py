@@ -1,0 +1,186 @@
+"""Detection and recovery: the guard layer.
+
+Asynchronous additive multigrid has no synchronization points where a
+conventional solver would notice a fault, so detection must be cheap,
+local, and require no coordination — exactly the constraints of
+Coleman & Sosonkina's fault-tolerant asynchronous iterations.  The
+:class:`GuardPolicy` groups the knobs; a per-run :class:`Guard` holds
+the mutable state (checkpoint, rollback/restart budgets):
+
+- **correction screening** (:meth:`Guard.screen`) — a correction with a
+  non-finite entry, or with norm beyond ``magnitude_bound x ||b||``, is
+  rejected (or clamped) *before* it touches the shared iterate.  One
+  ``isfinite`` pass and one max-abs per correction; no reductions
+  across grids.
+- **residual-spike detection + checkpoint/rollback**
+  (:meth:`Guard.checkpoint_or_rollback`) — the executor periodically
+  offers the current iterate and relative residual; a spike past
+  ``spike_factor x`` the last checkpoint (or a non-finite residual)
+  returns the checkpointed iterate to restore instead of recording a
+  new snapshot.
+- **staleness watchdog + restart budgets** — executors consult
+  ``watchdog``/``watchdog_timeout``/``watchdog_microsteps`` to declare
+  a silent grid dead, and :meth:`Guard.try_restart` to spend one of
+  ``max_restarts`` re-spawns (with replica re-sync, executor-specific).
+- **message policies** (distributed) — ``retransmit`` with exponential
+  backoff up to ``max_retransmits``, and sequence-number
+  ``dedup_messages``.
+
+``guard=None`` everywhere means *no protection*: faults land unchecked,
+which is the ablation the fault-tolerance benchmark contrasts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .telemetry import FaultTelemetry
+
+__all__ = ["GuardPolicy", "Guard"]
+
+_ON_MAGNITUDE = ("reject", "clamp")
+
+
+@dataclass(frozen=True)
+class GuardPolicy:
+    """Configuration of the detection/recovery layer.
+
+    Time-like fields follow the executing backend's clock (seconds for
+    the threaded executor, simulated seconds for the distributed
+    simulator, micro-steps for the sequential engine — the engine uses
+    ``watchdog_microsteps``, auto-derived when None).
+    """
+
+    #: reject corrections containing NaN/Inf entries
+    reject_nonfinite: bool = True
+    #: reject/clamp corrections with max-abs beyond this multiple of ||b||
+    magnitude_bound: float = 1e4
+    #: what to do with an oversized (but finite) correction
+    on_magnitude: str = "reject"
+    #: residual growth past the last checkpoint that triggers rollback
+    spike_factor: float = 100.0
+    #: checkpoint every this many correction *rounds* (engine/distributed)
+    checkpoint_interval: int = 5
+    #: checkpoint period in wall seconds (threaded supervisor)
+    checkpoint_period_s: float = 0.05
+    #: rollback budget; 0 disables rollback entirely
+    max_rollbacks: int = 10
+    #: enable the staleness watchdog / heartbeat monitor
+    watchdog: bool = True
+    #: engine: micro-steps without progress before a grid is declared
+    #: dead (None = auto, ~5 fault-free V-cycles)
+    watchdog_microsteps: Optional[int] = None
+    #: threaded/distributed: seconds without a heartbeat before a
+    #: worker/process is declared dead
+    watchdog_timeout: float = 0.25
+    #: restart grids/processes declared dead (with replica re-sync)
+    restart_crashed: bool = True
+    #: restart budget across the whole run
+    max_restarts: int = 3
+    #: extra delay between detection and the restarted grid's first work
+    restart_delay: float = 0.0
+    #: distributed: re-send dropped messages with exponential backoff
+    retransmit: bool = True
+    retransmit_timeout: float = 1e-4
+    max_retransmits: int = 3
+    #: distributed: discard duplicate deliveries by sequence number
+    dedup_messages: bool = True
+
+    def __post_init__(self) -> None:
+        if self.on_magnitude not in _ON_MAGNITUDE:
+            raise ValueError(f"on_magnitude must be one of {_ON_MAGNITUDE}")
+        if self.magnitude_bound <= 0 or self.spike_factor <= 1.0:
+            raise ValueError("magnitude_bound must be > 0 and spike_factor > 1")
+        if self.checkpoint_interval < 1 or self.checkpoint_period_s <= 0:
+            raise ValueError("checkpoint cadence must be positive")
+        if min(self.max_rollbacks, self.max_restarts, self.max_retransmits) < 0:
+            raise ValueError("budgets must be non-negative")
+        if self.watchdog_timeout <= 0 or self.retransmit_timeout <= 0:
+            raise ValueError("timeouts must be positive")
+        if self.restart_delay < 0:
+            raise ValueError("restart_delay must be non-negative")
+
+
+class Guard:
+    """Per-run mutable guard state built from a :class:`GuardPolicy`.
+
+    ``ref_norm`` anchors the magnitude screen (executors pass
+    ``||b||``); all detections/recoveries are tallied into
+    ``telemetry``.  Thread-safety: :meth:`screen` only reads policy
+    fields and bumps (locked) telemetry counters, so worker threads may
+    call it concurrently; checkpoint/rollback and restart bookkeeping
+    are supervisor/scheduler-only.
+    """
+
+    def __init__(
+        self,
+        policy: GuardPolicy,
+        ref_norm: float,
+        telemetry: Optional[FaultTelemetry] = None,
+    ):
+        self.policy = policy
+        self.ref_norm = max(float(ref_norm), 1e-30)
+        self.telemetry = telemetry if telemetry is not None else FaultTelemetry()
+        self._ckpt_x: Optional[np.ndarray] = None
+        self._ckpt_rel: float = np.inf
+        self.rollbacks_used = 0
+        self.restarts_used = 0
+
+    # -- correction screening -----------------------------------------
+    def screen(self, e: np.ndarray) -> Optional[np.ndarray]:
+        """Vet one correction; returns the (possibly clamped) vector to
+        apply, or None when it must be discarded."""
+        pol = self.policy
+        if pol.reject_nonfinite and not np.all(np.isfinite(e)):
+            self.telemetry.bump("corrections_rejected")
+            return None
+        if e.size:
+            mag = float(np.abs(e).max())
+            bound = pol.magnitude_bound * self.ref_norm
+            if mag > bound:
+                if pol.on_magnitude == "clamp":
+                    self.telemetry.bump("corrections_clamped")
+                    return e * (bound / mag)
+                self.telemetry.bump("corrections_rejected")
+                return None
+        return e
+
+    # -- checkpoint / rollback ----------------------------------------
+    def checkpoint_or_rollback(
+        self, x: np.ndarray, rel: float
+    ) -> Tuple[str, Optional[np.ndarray]]:
+        """Offer the current state; returns one of
+
+        - ``("checkpoint", None)`` — state recorded as the new snapshot;
+        - ``("rollback", x_restore)`` — residual spiked (or went
+          non-finite): restore the returned iterate;
+        - ``("none", None)`` — spike detected but the rollback budget is
+          spent or no checkpoint exists yet.
+        """
+        healthy = np.isfinite(rel) and (
+            self._ckpt_x is None or rel <= self.policy.spike_factor * self._ckpt_rel
+        )
+        if healthy:
+            self._ckpt_x = np.array(x, copy=True)
+            self._ckpt_rel = float(rel)
+            self.telemetry.bump("checkpoints")
+            return "checkpoint", None
+        if self._ckpt_x is not None and self.rollbacks_used < self.policy.max_rollbacks:
+            self.rollbacks_used += 1
+            self.telemetry.bump("rollbacks")
+            return "rollback", np.array(self._ckpt_x, copy=True)
+        return "none", None
+
+    # -- restart budget ------------------------------------------------
+    def try_restart(self) -> bool:
+        """Spend one restart from the budget (True when granted)."""
+        if not self.policy.restart_crashed:
+            return False
+        if self.restarts_used >= self.policy.max_restarts:
+            return False
+        self.restarts_used += 1
+        self.telemetry.bump("restarts")
+        return True
