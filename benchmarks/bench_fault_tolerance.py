@@ -19,7 +19,6 @@ Two sweeps on the 27-point Poisson problem:
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.amg import SetupOptions, setup_hierarchy
 from repro.core import run_async_engine

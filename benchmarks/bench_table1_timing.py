@@ -15,7 +15,6 @@ paper smoother weight and all twelve methods for two smoothers
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.experiments import TABLE1_METHODS, paper_hierarchy, table1_entry
 from repro.problems import build_problem

@@ -16,7 +16,6 @@ from __future__ import annotations
 
 import sys
 
-import numpy as np
 
 from repro import Multadd, SetupOptions, build_problem, setup_hierarchy
 from repro.core import run_threaded

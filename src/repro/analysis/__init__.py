@@ -1,0 +1,44 @@
+"""Concurrency-correctness analysis for the asynchronous executors.
+
+Two complementary layers:
+
+- **Static** (:mod:`repro.analysis.linter` + :mod:`repro.analysis.rules`)
+  — an AST project linter with repo-specific rules (RPR001–RPR005)
+  enforcing the concurrency discipline the paper's convergence results
+  depend on: all shared-array access through
+  :class:`~repro.core.writes.WritePolicy`, ascending striped-lock
+  order, seeded ``Generator`` randomness, monotonic clocks, and the
+  ``*Result`` dataclass contract.  Run it with
+  ``python -m repro.analysis --strict`` (the CI gate) or
+  ``python -m repro analyze``.
+
+- **Dynamic** (:mod:`repro.analysis.racecheck`) — a happens-before
+  checker: :class:`CheckedWrite` wraps any write policy with per-stripe
+  sequence counters and vector clocks, and a conformance run on a real
+  threaded solve empirically verifies the paper's model assumptions
+  (no torn reads under lock/atomic, read staleness ≤ δ, monotone read
+  instants, per-grid update counts consistent with ``p_k ~ U[α, 1]``),
+  producing a :class:`ModelConformanceReport`.
+"""
+
+from .linter import LintReport, default_root, lint_source, run_linter
+from .racecheck import (
+    CheckedWrite,
+    ModelConformanceReport,
+    run_conformance,
+)
+from .rules import ALL_RULES, Finding, Rule, rule_by_code
+
+__all__ = [
+    "ALL_RULES",
+    "CheckedWrite",
+    "Finding",
+    "LintReport",
+    "ModelConformanceReport",
+    "Rule",
+    "default_root",
+    "lint_source",
+    "rule_by_code",
+    "run_conformance",
+    "run_linter",
+]

@@ -1,0 +1,50 @@
+"""CI entry point: ``python -m repro.analysis [--strict] [PATH ...]``.
+
+Exits 0 when every rule is clean (or explicitly suppressed); exits 1
+on any active finding.  ``--strict`` additionally rejects suppressions
+that carry no justification text.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from .linter import default_root, run_linter
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.analysis",
+        description="Project linter: concurrency-correctness rules RPR001-RPR005",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        help="files or directories to lint (default: the repro package)",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="fail on any active finding and require justified suppressions",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="print nothing when clean"
+    )
+    args = parser.parse_args(argv)
+
+    roots = args.paths or [default_root()]
+    ok = True
+    for root in roots:
+        report = run_linter(root=root, strict=args.strict)
+        ok = ok and report.ok
+        if not report.ok or not args.quiet:
+            print(report.format())
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,170 @@
+"""The project linter: run the RPR rules over a source tree.
+
+Usage (library)::
+
+    from repro.analysis import run_linter
+    report = run_linter(strict=True)      # lints the installed repro tree
+    print(report.format())
+    raise SystemExit(0 if report.ok else 1)
+
+Usage (CLI)::
+
+    python -m repro.analysis --strict     # CI entry point
+    python -m repro analyze --strict      # same, through the main CLI
+
+Suppression
+-----------
+A finding is suppressed by an inline comment on the flagged line::
+
+    x[lo:hi] += vals  # repro: noqa[RPR001] scheduler is the serialization point
+
+``# repro: noqa`` with no code list suppresses every rule on that
+line.  In ``--strict`` mode a suppression must carry a justification
+(the free text after the bracket); a bare ``noqa`` leaves the finding
+active, with the missing justification called out — suppressions are
+part of the concurrency-correctness argument and must say *why* the
+code is safe, not just that the author wanted the warning gone.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .rules import ALL_RULES, Finding, Rule
+
+__all__ = ["LintReport", "run_linter", "lint_source", "default_root"]
+
+_NOQA_RE = re.compile(
+    r"#\s*repro:\s*noqa(?:\[(?P<codes>[A-Z0-9,\s]+)\])?\s*(?P<just>.*)$"
+)
+
+
+def default_root() -> Path:
+    """The ``repro`` package directory this module was imported from."""
+    return Path(__file__).resolve().parents[1]
+
+
+@dataclass
+class LintReport:
+    """Outcome of one linter run."""
+
+    findings: List[Finding] = field(default_factory=list)
+    """Active findings (not suppressed, or suppressed without a
+    justification in strict mode)."""
+    suppressed: List[Finding] = field(default_factory=list)
+    files_checked: int = 0
+    strict: bool = False
+    parse_errors: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings and not self.parse_errors
+
+    def by_code(self, code: str) -> List[Finding]:
+        return [f for f in self.findings if f.code == code]
+
+    def format(self) -> str:
+        lines: List[str] = []
+        for err in self.parse_errors:
+            lines.append(f"parse error: {err}")
+        for f in sorted(self.findings, key=lambda f: (f.path, f.line, f.code)):
+            lines.append(f.format())
+        lines.append(
+            f"{len(self.findings)} finding(s) in {self.files_checked} file(s)"
+            f" ({len(self.suppressed)} suppressed)"
+        )
+        return "\n".join(lines)
+
+
+def _parse_noqa(source: str) -> Dict[int, Tuple[Optional[frozenset], str]]:
+    """Map line number -> (codes or None for all, justification)."""
+    out: Dict[int, Tuple[Optional[frozenset], str]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        m = _NOQA_RE.search(line)
+        if not m:
+            continue
+        codes = m.group("codes")
+        parsed = (
+            frozenset(c.strip() for c in codes.split(",") if c.strip())
+            if codes
+            else None
+        )
+        out[lineno] = (parsed, m.group("just").strip())
+    return out
+
+
+def lint_source(
+    source: str,
+    relpath: str,
+    strict: bool = False,
+    rules: Optional[Sequence[Rule]] = None,
+    ignore_scope: bool = False,
+) -> Tuple[List[Finding], List[Finding]]:
+    """Lint one module's source; returns (active, suppressed) findings.
+
+    ``ignore_scope`` runs every rule regardless of its file scope —
+    used by the test fixtures, which concentrate violations of all
+    rules in one file.
+    """
+    tree = ast.parse(source, filename=relpath)
+    noqa = _parse_noqa(source)
+    active: List[Finding] = []
+    suppressed: List[Finding] = []
+    for rule in rules if rules is not None else ALL_RULES:
+        if not ignore_scope and not rule.applies_to(relpath):
+            continue
+        for finding in rule.check(tree, source, relpath):
+            entry = noqa.get(finding.line)
+            if entry is not None and (entry[0] is None or finding.code in entry[0]):
+                finding.justification = entry[1]
+                if strict and not entry[1]:
+                    finding.message += (
+                        "  (suppression rejected: noqa carries no justification)"
+                    )
+                    active.append(finding)
+                else:
+                    finding.suppressed = True
+                    suppressed.append(finding)
+            else:
+                active.append(finding)
+    return active, suppressed
+
+
+def run_linter(
+    root: Optional[Path] = None,
+    strict: bool = False,
+    rules: Optional[Sequence[Rule]] = None,
+    ignore_scope: bool = False,
+) -> LintReport:
+    """Lint every ``*.py`` file under ``root`` (default: the installed
+    ``repro`` package)."""
+    base = Path(root) if root is not None else default_root()
+    report = LintReport(strict=strict)
+    if base.is_file():
+        files = [base]
+        relbase = base.parent
+    else:
+        files = sorted(base.rglob("*.py"))
+        relbase = base
+    for path in files:
+        relpath = str(path.relative_to(relbase))
+        try:
+            source = path.read_text(encoding="utf-8")
+        except OSError as exc:  # pragma: no cover - unreadable file
+            report.parse_errors.append(f"{relpath}: {exc}")
+            continue
+        try:
+            active, suppressed = lint_source(
+                source, relpath, strict=strict, rules=rules, ignore_scope=ignore_scope
+            )
+        except SyntaxError as exc:
+            report.parse_errors.append(f"{relpath}: {exc}")
+            continue
+        report.findings.extend(active)
+        report.suppressed.extend(suppressed)
+        report.files_checked += 1
+    return report

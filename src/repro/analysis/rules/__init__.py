@@ -1,0 +1,105 @@
+"""Rule base classes and the RPR rule registry.
+
+Each rule is an AST pass with a stable code (``RPR001`` ...), a
+one-line description, and a fixit hint.  A rule may restrict itself to
+specific files (``scope`` — path suffixes relative to the linted
+root); rules with an empty scope apply everywhere.  Findings on a line
+carrying ``# repro: noqa[RPRxxx] <justification>`` are suppressed by
+the linter (in ``--strict`` mode only when the justification is
+non-empty — a bare noqa is a finding of its own kind).
+"""
+
+from __future__ import annotations
+
+import ast
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import List, Tuple, Type
+
+__all__ = ["Finding", "Rule", "ALL_RULES", "rule_by_code"]
+
+
+@dataclass
+class Finding:
+    """One linter finding, pointing at a source line."""
+
+    code: str
+    message: str
+    path: str
+    line: int
+    col: int = 0
+    hint: str = ""
+    suppressed: bool = False
+    justification: str = ""
+
+    def format(self) -> str:
+        loc = f"{self.path}:{self.line}:{self.col + 1}"
+        text = f"{loc}: {self.code} {self.message}"
+        if self.hint:
+            text += f"  [fixit: {self.hint}]"
+        return text
+
+
+class Rule(ABC):
+    """One static-analysis rule (an AST pass over a single module)."""
+
+    code: str = "RPR000"
+    name: str = "abstract"
+    description: str = ""
+    hint: str = ""
+    #: path suffixes this rule applies to; empty = every file
+    scope: Tuple[str, ...] = ()
+
+    def applies_to(self, relpath: str) -> bool:
+        if not self.scope:
+            return True
+        norm = relpath.replace("\\", "/")
+        return any(norm.endswith(suffix) for suffix in self.scope)
+
+    @abstractmethod
+    def check(self, tree: ast.AST, source: str, relpath: str) -> List[Finding]:
+        """Return the findings for one parsed module."""
+
+    def finding(self, relpath: str, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            code=self.code,
+            message=message,
+            path=relpath,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            hint=self.hint,
+        )
+
+
+def _collect_rules() -> List[Rule]:
+    # Imported here (not at module top) so the registry and the rule
+    # modules cannot form an import cycle.
+    from .lock_order import LockOrderRule
+    from .result_contract import ResultContractRule
+    from .rng import SeededRngRule
+    from .shared_writes import SharedWriteDisciplineRule
+    from .timing import WallClockRule
+
+    classes: List[Type[Rule]] = [
+        SharedWriteDisciplineRule,
+        LockOrderRule,
+        SeededRngRule,
+        WallClockRule,
+        ResultContractRule,
+    ]
+    rules = [cls() for cls in classes]
+    codes = [r.code for r in rules]
+    if len(set(codes)) != len(codes):  # pragma: no cover - registry bug
+        raise RuntimeError(f"duplicate rule codes: {codes}")
+    return rules
+
+
+ALL_RULES: List[Rule] = _collect_rules()
+
+
+def rule_by_code(code: str) -> Rule:
+    """Look up a registered rule by its ``RPRxxx`` code."""
+    for rule in ALL_RULES:
+        if rule.code == code:
+            return rule
+    raise KeyError(f"unknown rule code {code!r}; known: {[r.code for r in ALL_RULES]}")

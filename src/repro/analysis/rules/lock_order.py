@@ -1,0 +1,138 @@
+"""RPR002 — striped-lock acquisition order.
+
+:class:`repro.core.writes.AtomicWrite` emulates element-granular
+atomics with one lock per stripe.  Deadlock freedom rests on a global
+acquisition order: a thread holds at most one stripe lock at a time,
+and when it sweeps several stripes it acquires them in ascending
+stripe index.  Two patterns break that invariant:
+
+- **nested acquisition** — taking stripe ``j``'s lock while already
+  holding stripe ``i``'s (two sweeping threads meeting in opposite
+  positions deadlock);
+- **descending sweeps** — iterating the stripes via ``reversed(...)``
+  or ``sorted(..., reverse=True)`` (deadlocks against an ascending
+  sweep the moment a nested acquisition slips in, and breaks the
+  epoch-log ordering the race checker relies on).
+
+The rule inspects every ``with`` statement whose context manager is a
+subscript into a lock collection (an attribute or name containing
+``locks``) and flags both patterns.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional
+
+from . import Finding, Rule
+
+__all__ = ["LockOrderRule"]
+
+
+def _lock_container(node: ast.expr) -> Optional[str]:
+    """Dump of the container expression when ``node`` subscripts a lock
+    collection (``self._locks[s]``, ``locks[i]`` ...), else None."""
+    if not isinstance(node, ast.Subscript):
+        return None
+    value = node.value
+    if isinstance(value, ast.Attribute) and "locks" in value.attr:
+        return ast.dump(value)
+    if isinstance(value, ast.Name) and "locks" in value.id:
+        return ast.dump(value)
+    return None
+
+
+def _is_descending_iter(node: ast.expr) -> bool:
+    """True for ``reversed(...)`` / ``sorted(..., reverse=True)`` /
+    ``range(..., step<0)`` iterators."""
+    if not isinstance(node, ast.Call):
+        return False
+    fn = node.func
+    if isinstance(fn, ast.Name):
+        if fn.id == "reversed":
+            return True
+        if fn.id == "sorted":
+            for kw in node.keywords:
+                if (
+                    kw.arg == "reverse"
+                    and isinstance(kw.value, ast.Constant)
+                    and kw.value.value is True
+                ):
+                    return True
+        if fn.id == "range" and len(node.args) == 3:
+            step = node.args[2]
+            if (
+                isinstance(step, ast.UnaryOp)
+                and isinstance(step.op, ast.USub)
+                or (
+                    isinstance(step, ast.Constant)
+                    and isinstance(step.value, (int, float))
+                    and step.value < 0
+                )
+            ):
+                return True
+    return False
+
+
+class LockOrderRule(Rule):
+    code = "RPR002"
+    name = "stripe-lock-order"
+    description = (
+        "striped locks must be acquired one at a time, in ascending "
+        "stripe order (deadlock freedom of AtomicWrite)"
+    )
+    hint = (
+        "release each stripe lock before taking the next, and sweep "
+        "stripes in ascending index order"
+    )
+    # Applies everywhere: anything that grows a _locks collection
+    # (writes.py today, any future policy) is in scope.
+    scope = ()
+
+    def check(self, tree: ast.AST, source: str, relpath: str) -> List[Finding]:
+        findings: List[Finding] = []
+        self._walk(tree, [], None, findings, relpath)
+        return findings
+
+    def _walk(
+        self,
+        node: ast.AST,
+        held: List[str],
+        descending: Optional[ast.For],
+        findings: List[Finding],
+        relpath: str,
+    ) -> None:
+        if isinstance(node, ast.With):
+            acquired: List[str] = []
+            for item in node.items:
+                container = _lock_container(item.context_expr)
+                if container is None:
+                    continue
+                if container in held:
+                    findings.append(
+                        self.finding(
+                            relpath,
+                            node,
+                            "nested acquisition of two stripe locks from the "
+                            "same collection (deadlock risk)",
+                        )
+                    )
+                if descending is not None:
+                    findings.append(
+                        self.finding(
+                            relpath,
+                            node,
+                            "stripe locks acquired while iterating stripes in "
+                            "descending order",
+                        )
+                    )
+                acquired.append(container)
+            for child in ast.iter_child_nodes(node):
+                self._walk(child, held + acquired, descending, findings, relpath)
+            return
+        if isinstance(node, ast.For) and _is_descending_iter(node.iter):
+            for child in ast.iter_child_nodes(node):
+                self._walk(child, held, node, findings, relpath)
+            return
+        for child in ast.iter_child_nodes(node):
+            self._walk(child, held, descending, findings, relpath)

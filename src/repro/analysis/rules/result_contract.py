@@ -1,0 +1,105 @@
+"""RPR005 — the ``*Result`` dataclass contract.
+
+Every executor returns a ``*Result`` dataclass, and downstream
+consumers (the CLI, the fault-tolerance benchmarks, the conformance
+checker) treat the fleet of result types uniformly: each must carry
+
+- ``stalled`` — whether the run ended without satisfying its stopping
+  criterion (the paper's "no deadlock" claim surfaces here as a
+  stalled-but-finite run, never a hang), and
+- ``telemetry`` — the :class:`repro.resilience.FaultTelemetry`
+  counters (all zero for a fault-free run),
+
+so that resilience reporting never needs ``hasattr`` probes.  The rule
+additionally enforces the standard dataclass footgun: a mutable
+default (``[]``, ``{}``, ``set()``, ...) is shared across *all*
+instances — it must be ``field(default_factory=...)``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from . import Finding, Rule
+
+__all__ = ["ResultContractRule"]
+
+REQUIRED_FIELDS = ("stalled", "telemetry")
+_MUTABLE_CALLS = frozenset({"list", "dict", "set", "bytearray"})
+
+
+def _is_dataclass_decorated(node: ast.ClassDef) -> bool:
+    for dec in node.decorator_list:
+        target = dec.func if isinstance(dec, ast.Call) else dec
+        if isinstance(target, ast.Name) and target.id == "dataclass":
+            return True
+        if isinstance(target, ast.Attribute) and target.attr == "dataclass":
+            return True
+    return False
+
+
+def _is_mutable_default(value: ast.expr) -> bool:
+    if isinstance(value, (ast.List, ast.Dict, ast.Set)):
+        return True
+    if isinstance(value, ast.Call):
+        fn = value.func
+        if isinstance(fn, ast.Name) and fn.id in _MUTABLE_CALLS:
+            return True
+    return False
+
+
+class ResultContractRule(Rule):
+    code = "RPR005"
+    name = "result-contract"
+    description = (
+        "*Result dataclasses must carry 'stalled' and 'telemetry' and "
+        "must not use shared mutable defaults"
+    )
+    hint = (
+        "add `stalled: bool = False` and `telemetry: FaultTelemetry = "
+        "field(default_factory=FaultTelemetry)`; wrap mutable defaults "
+        "in field(default_factory=...)"
+    )
+    scope = ()
+
+    def check(self, tree: ast.AST, source: str, relpath: str) -> List[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if not node.name.endswith("Result") or not _is_dataclass_decorated(node):
+                continue
+            field_names = {
+                stmt.target.id
+                for stmt in node.body
+                if isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name)
+            }
+            missing = [f for f in REQUIRED_FIELDS if f not in field_names]
+            if missing:
+                findings.append(
+                    self.finding(
+                        relpath,
+                        node,
+                        f"dataclass {node.name} is missing required result "
+                        f"field(s): {', '.join(missing)}",
+                    )
+                )
+            for stmt in node.body:
+                if (
+                    isinstance(stmt, ast.AnnAssign)
+                    and stmt.value is not None
+                    and _is_mutable_default(stmt.value)
+                ):
+                    fname = (
+                        stmt.target.id if isinstance(stmt.target, ast.Name) else "?"
+                    )
+                    findings.append(
+                        self.finding(
+                            relpath,
+                            stmt,
+                            f"mutable default on {node.name}.{fname} is shared "
+                            "across instances",
+                        )
+                    )
+        return findings

@@ -1,0 +1,73 @@
+"""RPR004 — monotonic clocks in solve kernels.
+
+``time.time()`` is wall-clock time: it jumps under NTP slew and DST,
+and its resolution is platform-dependent.  Every duration the repo
+measures (worker heartbeats, watchdog timeouts, residual-vs-time
+samples, Table-I timings) must come from the monotonic
+high-resolution ``time.perf_counter()``; a single ``time.time()``
+interval in a solve path can go negative under clock adjustment and
+break the supervisor logic built on it.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Set
+
+from . import Finding, Rule
+
+__all__ = ["WallClockRule"]
+
+
+class WallClockRule(Rule):
+    code = "RPR004"
+    name = "monotonic-clock"
+    description = (
+        "durations must be measured with time.perf_counter(); "
+        "time.time() is not monotonic"
+    )
+    hint = "replace time.time() with time.perf_counter()"
+    scope = ()
+
+    def check(self, tree: ast.AST, source: str, relpath: str) -> List[Finding]:
+        findings: List[Finding] = []
+        time_aliases: Set[str] = set()
+        bare_time_fns: Set[str] = set()  # `from time import time [as t]`
+
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "time":
+                        time_aliases.add(alias.asname or "time")
+            elif isinstance(node, ast.ImportFrom) and node.module == "time":
+                for alias in node.names:
+                    if alias.name == "time":
+                        bare_time_fns.add(alias.asname or "time")
+                        findings.append(
+                            self.finding(
+                                relpath,
+                                node,
+                                "import of wall-clock time.time "
+                                "(non-monotonic)",
+                            )
+                        )
+
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            fn = node.func
+            if (
+                isinstance(fn, ast.Attribute)
+                and fn.attr == "time"
+                and isinstance(fn.value, ast.Name)
+                and fn.value.id in time_aliases
+            ) or (isinstance(fn, ast.Name) and fn.id in bare_time_fns):
+                findings.append(
+                    self.finding(
+                        relpath,
+                        node,
+                        "wall-clock time.time() used for measurement "
+                        "(non-monotonic; jumps under NTP/DST)",
+                    )
+                )
+        return findings

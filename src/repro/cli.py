@@ -2,10 +2,12 @@
 
 Commands
 --------
-``setup``   Build a hierarchy for a test problem, print its summary.
-``solve``   Run one solver (sync or async) on a test problem.
-``models``  Run the Section-III asynchronous-model simulators.
-``table1``  Produce one matrix's Table-I block.
+``setup``    Build a hierarchy for a test problem, print its summary.
+``solve``    Run one solver (sync or async) on a test problem.
+``models``   Run the Section-III asynchronous-model simulators.
+``table1``   Produce one matrix's Table-I block.
+``analyze``  Static concurrency lint (RPR rules) + optional
+             instrumented model-conformance run.
 
 Examples
 --------
@@ -20,6 +22,8 @@ Examples
         --faults "drop:p=0.05" --guards --tmax 20
     python -m repro models --set 27pt --size 10 --model full_res --delta 4
     python -m repro table1 --set 7pt --size 10 --smoother jacobi --tol 1e-6
+    python -m repro analyze --strict
+    python -m repro analyze --conformance --set 27pt --size 8 --tmax 5
 """
 
 from __future__ import annotations
@@ -28,7 +32,6 @@ import argparse
 import sys
 from typing import List, Optional
 
-import numpy as np
 
 from .amg import SetupOptions, setup_hierarchy
 from .core import (
@@ -239,6 +242,28 @@ def _cmd_table1(args) -> int:
     return 0
 
 
+def _cmd_analyze(args) -> int:
+    from .analysis import run_conformance, run_linter
+
+    report = run_linter(strict=args.strict)
+    print(report.format())
+    ok = report.ok
+    if args.conformance:
+        problem, hierarchy = _build(args)
+        solver = Multadd(hierarchy, smoother="jacobi", weight=problem.jacobi_weight)
+        for write in ("lock", "atomic"):
+            conf = run_conformance(
+                solver,
+                problem.b,
+                write=write,
+                tmax=args.tmax,
+                delta=args.delta,
+            )
+            print(conf.summary())
+            ok = ok and conf.passed
+    return 0 if ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="Asynchronous multigrid reproduction CLI"
@@ -309,6 +334,34 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--alpha", type=float, default=0.7)
     p.add_argument("--max-cycles", type=int, default=250)
     p.set_defaults(func=_cmd_table1)
+
+    p = sub.add_parser(
+        "analyze",
+        help="concurrency-correctness analysis: static RPR lint + "
+        "optional instrumented conformance run",
+    )
+    _add_problem_args(p)
+    _add_setup_args(p)
+    p.add_argument(
+        "--strict",
+        action="store_true",
+        help="fail on any unsuppressed finding; require justified noqa",
+    )
+    p.add_argument(
+        "--conformance",
+        action="store_true",
+        help="also run a CheckedWrite-instrumented threaded solve "
+        "(lock and atomic policies) and report model conformance",
+    )
+    p.add_argument("--tmax", type=int, default=5)
+    p.add_argument(
+        "--delta",
+        type=int,
+        default=None,
+        help="staleness bound to verify (default: the sound "
+        "criterion-1 bound (ngrids-1)*tmax)",
+    )
+    p.set_defaults(func=_cmd_analyze)
     return parser
 
 

@@ -27,7 +27,7 @@ class Criterion1:
 
     name = "criterion1"
 
-    def __init__(self, ngrids: int, tmax: int):
+    def __init__(self, ngrids: int, tmax: int) -> None:
         if tmax < 1:
             raise ValueError("tmax must be >= 1")
         self.ngrids = ngrids
@@ -56,7 +56,7 @@ class Criterion2:
 
     name = "criterion2"
 
-    def __init__(self, ngrids: int, tmax: int):
+    def __init__(self, ngrids: int, tmax: int) -> None:
         if tmax < 1:
             raise ValueError("tmax must be >= 1")
         self.ngrids = ngrids

@@ -38,7 +38,7 @@ Write policies:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Generator, List, Optional, Tuple
+from typing import Any, Callable, Generator, List, Optional, Tuple
 
 import numpy as np
 
@@ -93,7 +93,7 @@ class AsyncEngineResult:
 
 
 def _grid_coroutine(
-    solver,
+    solver: Any,
     k: int,
     b: np.ndarray,
     rescomp: str,
@@ -159,7 +159,7 @@ def _grid_coroutine(
         yield ("done_correction",)
 
 
-def _rows_matvec(A, x: np.ndarray, lo: int, hi: int) -> np.ndarray:
+def _rows_matvec(A: Any, x: np.ndarray, lo: int, hi: int) -> np.ndarray:
     p0, p1 = A.indptr[lo], A.indptr[hi]
     seg = A.data[p0:p1] * x[A.indices[p0:p1]]
     local = np.repeat(np.arange(hi - lo), np.diff(A.indptr[lo : hi + 1]))
@@ -167,7 +167,7 @@ def _rows_matvec(A, x: np.ndarray, lo: int, hi: int) -> np.ndarray:
 
 
 def run_async_engine(
-    solver,
+    solver: Any,
     b: np.ndarray,
     tmax: int = 20,
     rescomp: str = "local",
@@ -336,12 +336,15 @@ def run_async_engine(
         g = gens[k]
         send_val = None
         kind = op[0]
+        # The scheduler below is the engine's WritePolicy: exactly one
+        # micro-op executes at a time, so these direct commits are the
+        # single serialization point (one noqa per commit site).
         if kind == "add_x":
             _, lo, hi, vals = op
-            x[lo:hi] += vals
+            x[lo:hi] += vals  # repro: noqa[RPR001] single-threaded scheduler commit
         elif kind == "add_r":
             _, lo, hi, vals = op
-            r[lo:hi] += vals
+            r[lo:hi] += vals  # repro: noqa[RPR001] single-threaded scheduler commit
         elif kind == "read_x":
             _, lo, hi = op
             send_val = x[lo:hi].copy()
@@ -350,7 +353,7 @@ def run_async_engine(
             send_val = r[lo:hi].copy()
         elif kind == "refresh_r":
             _, lo, hi, vals = op
-            r[lo:hi] = vals
+            r[lo:hi] = vals  # repro: noqa[RPR001] single-threaded scheduler commit
         elif kind == "done_correction":
             crit.record(k)
             activity.append((k, last_done[k], micro))
@@ -385,8 +388,8 @@ def run_async_engine(
                 rel_now = float(two_norm(b - solver.A @ x) / nb)
                 action, x_restore = grd.checkpoint_or_rollback(x, rel_now)
                 if action == "rollback":
-                    x[:] = x_restore
-                    r[:] = b - solver.A @ x
+                    x[:] = x_restore  # repro: noqa[RPR001] rollback at the scheduler barrier
+                    r[:] = b - solver.A @ x  # repro: noqa[RPR001] rollback at the scheduler barrier
             # --- guard: staleness watchdog + restart ----------------
             if wd_micro is not None:
                 for j in range(ngrids):
@@ -414,8 +417,8 @@ def run_async_engine(
                 if grd is not None:
                     action, x_restore = grd.checkpoint_or_rollback(x, np.inf)
                     if action == "rollback":
-                        x[:] = x_restore
-                        r[:] = b - solver.A @ x
+                        x[:] = x_restore  # repro: noqa[RPR001] rollback at the scheduler barrier
+                        r[:] = b - solver.A @ x  # repro: noqa[RPR001] rollback at the scheduler barrier
                         recovered = True
                 if not recovered:
                     diverged = True

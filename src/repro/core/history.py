@@ -16,7 +16,7 @@ __all__ = ["VectorHistory"]
 class VectorHistory:
     """Stores vectors indexed by time instant, keeping the last ``depth``."""
 
-    def __init__(self, x0: np.ndarray, depth: int):
+    def __init__(self, x0: np.ndarray, depth: int) -> None:
         if depth < 1:
             raise ValueError("depth must be >= 1")
         x0 = np.asarray(x0, dtype=np.float64)

@@ -25,11 +25,12 @@ through what each grid *reads* — precisely the models' semantics.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Any, List, Optional
 
 import numpy as np
 
 from ..linalg import two_norm
+from ..resilience import FaultTelemetry
 from .history import VectorHistory
 from .schedule import ScheduleParams, StalenessSchedule
 
@@ -60,6 +61,10 @@ class AsyncModelResult:
     residual_trace:
         ``||r||/||b||`` recorded at each time instant (cheap here
         because the simulators maintain the exact residual).
+    stalled / telemetry:
+        The uniform result contract (RPR005).  The model simulators
+        raise instead of stalling (a stuck schedule is a configuration
+        error) and inject no faults, so these stay at their defaults.
     """
 
     x: np.ndarray
@@ -68,10 +73,17 @@ class AsyncModelResult:
     corrections_per_grid: np.ndarray
     update_probabilities: np.ndarray
     residual_trace: List[float] = field(default_factory=list)
+    stalled: bool = False
+    telemetry: FaultTelemetry = field(default_factory=FaultTelemetry)
 
 
 def _finalize(
-    solver, x: np.ndarray, b: np.ndarray, sched: StalenessSchedule, t: int, trace
+    solver: Any,
+    x: np.ndarray,
+    b: np.ndarray,
+    sched: StalenessSchedule,
+    t: int,
+    trace: Optional[List[float]],
 ) -> AsyncModelResult:
     r = b - solver.A @ x
     nb = two_norm(b) or 1.0
@@ -93,7 +105,7 @@ def _max_instants(params: ScheduleParams, sched: StalenessSchedule) -> int:
 
 
 def simulate_semi_async(
-    solver,
+    solver: Any,
     b: np.ndarray,
     params: ScheduleParams,
     x0: Optional[np.ndarray] = None,
@@ -135,7 +147,7 @@ def simulate_semi_async(
 
 
 def simulate_full_async_solution(
-    solver,
+    solver: Any,
     b: np.ndarray,
     params: ScheduleParams,
     x0: Optional[np.ndarray] = None,
@@ -178,7 +190,7 @@ def simulate_full_async_solution(
 
 
 def simulate_full_async_residual(
-    solver,
+    solver: Any,
     b: np.ndarray,
     params: ScheduleParams,
     x0: Optional[np.ndarray] = None,

@@ -27,7 +27,7 @@ falls), never absolute seconds.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence, Tuple
+from typing import Any, Tuple
 
 import numpy as np
 
@@ -62,7 +62,7 @@ class MachineParams:
 class PerfModel:
     """Wall-clock estimates for the solvers' execution schedules."""
 
-    def __init__(self, params: MachineParams | None = None):
+    def __init__(self, params: MachineParams | None = None) -> None:
         self.params = params or MachineParams()
         self._rng = np.random.default_rng(self.params.seed)
 
@@ -94,7 +94,7 @@ class PerfModel:
         raise ValueError(f"unknown write policy {write!r}")
 
     # ------------------------------------------------------------------
-    def time_mult(self, solver, nthreads: int, ncycles: int) -> float:
+    def time_mult(self, solver: Any, nthreads: int, ncycles: int) -> float:
         """Wall-clock of ``ncycles`` multiplicative V-cycles.
 
         Every level's smoothing/restriction/prolongation runs on *all*
@@ -123,7 +123,7 @@ class PerfModel:
         return total
 
     # ------------------------------------------------------------------
-    def _grid_groups(self, solver, nthreads: int) -> Tuple[np.ndarray, float]:
+    def _grid_groups(self, solver: Any, nthreads: int) -> Tuple[np.ndarray, float]:
         """Threads per grid and the oversubscription slowdown factor.
 
         When there are fewer threads than grids every grid still gets a
@@ -135,14 +135,14 @@ class PerfModel:
         slowdown = max(1.0, float(groups.sum()) / float(nthreads))
         return groups, slowdown
 
-    def _intra_barriers(self, solver, k: int) -> int:
+    def _intra_barriers(self, solver: Any, k: int) -> int:
         # Restrict chain (k), Lambda/smoothing (~2), prolong chain (k),
         # one residual/read phase.
         return 2 * k + 3
 
     def _correction_time(
         self,
-        solver,
+        solver: Any,
         k: int,
         tk: int,
         rescomp: str,
@@ -169,7 +169,7 @@ class PerfModel:
 
     def time_sync_additive(
         self,
-        solver,
+        solver: Any,
         nthreads: int,
         ncycles: int,
         write: str = "lock",
@@ -199,7 +199,7 @@ class PerfModel:
 
     def time_async(
         self,
-        solver,
+        solver: Any,
         nthreads: int,
         tmax: int,
         rescomp: str = "local",

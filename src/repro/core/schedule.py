@@ -65,7 +65,7 @@ class StalenessSchedule:
         params: ScheduleParams,
         p_override: np.ndarray | None = None,
         delta_by_grid: np.ndarray | None = None,
-    ):
+    ) -> None:
         """``p_override`` fixes the update probabilities explicitly
         instead of sampling ``U[alpha, 1]`` — used to study the paper's
         conclusion that *unbalanced* correction counts (one grid far

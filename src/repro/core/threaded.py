@@ -23,19 +23,35 @@ from __future__ import annotations
 
 import threading
 import time as _time
+import traceback
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Any, Callable, List, Optional
 
 import numpy as np
 
 from ..linalg import two_norm
 from ..resilience import FaultInjector, FaultPlan, FaultTelemetry, Guard, GuardPolicy
 from .criteria import Criterion1, Criterion2
-from .writes import make_write_policy
+from .writes import WritePolicy, make_write_policy
 
 __all__ = ["ThreadedResult", "run_threaded"]
 
 _RESCOMP = ("local", "global", "rupdate")
+
+#: The failure classes a worker's numerical kernel can actually raise
+#: (replacing the old blanket ``except Exception``).  Anything outside
+#: this set escapes to ``threading.excepthook`` — an unknown exception
+#: type should be loudly fatal, not silently folded into a result.
+_WORKER_ERRORS = (
+    ArithmeticError,
+    AttributeError,
+    LookupError,
+    MemoryError,
+    RuntimeError,
+    TypeError,
+    ValueError,
+    np.linalg.LinAlgError,
+)
 
 
 @dataclass
@@ -64,7 +80,7 @@ class ThreadedResult:
         return float(self.counts.mean())
 
 
-def _rows_matvec(A, x: np.ndarray, lo: int, hi: int) -> np.ndarray:
+def _rows_matvec(A: Any, x: np.ndarray, lo: int, hi: int) -> np.ndarray:
     p0, p1 = A.indptr[lo], A.indptr[hi]
     seg = A.data[p0:p1] * x[A.indices[p0:p1]]
     local = np.repeat(np.arange(hi - lo), np.diff(A.indptr[lo : hi + 1]))
@@ -72,7 +88,7 @@ def _rows_matvec(A, x: np.ndarray, lo: int, hi: int) -> np.ndarray:
 
 
 def run_threaded(
-    solver,
+    solver: Any,
     b: np.ndarray,
     tmax: int = 20,
     rescomp: str = "local",
@@ -85,6 +101,7 @@ def run_threaded(
     monitor_interval: Optional[float] = None,
     faults: Optional[FaultPlan] = None,
     guard: Optional[GuardPolicy] = None,
+    policy_wrapper: Optional[Callable[[WritePolicy], WritePolicy]] = None,
 ) -> ThreadedResult:
     """Run asynchronous additive multigrid with real threads.
 
@@ -106,6 +123,13 @@ def run_threaded(
     seconds).  ``guard`` screens corrections, checkpoints/rolls back
     the shared iterate from the supervisor, and restarts dead workers
     re-synced from the current shared state.
+
+    ``policy_wrapper`` decorates each shared-vector write policy after
+    construction (applied to the iterate's policy first, then the
+    residual's) — the hook
+    :class:`repro.analysis.racecheck.CheckedWrite` uses to instrument
+    a run with happens-before checking without changing its
+    synchronization.
     """
     if rescomp not in _RESCOMP:
         raise ValueError(f"rescomp must be one of {_RESCOMP}")
@@ -123,6 +147,9 @@ def run_threaded(
 
     xpol = make_write_policy(write, n, **({"stripe": stripe} if write == "atomic" else {}))
     rpol = make_write_policy(write, n, **({"stripe": stripe} if write == "atomic" else {}))
+    if policy_wrapper is not None:
+        xpol = policy_wrapper(xpol)
+        rpol = policy_wrapper(rpol)
 
     # Row ownership for the global-res no-wait parfor (work shares).
     work = solver.work_per_grid()
@@ -195,9 +222,12 @@ def run_threaded(
                 m = float(np.abs(r_local).max()) if n else 0.0
                 if not np.isfinite(m) or m > divergence_threshold * max(nb, 1.0):
                     stop_event.set()
-        except Exception as exc:  # pragma: no cover - surfaced in result
+        except _WORKER_ERRORS:
+            # Record the full traceback, not just str(exc): a worker
+            # dies on another thread's stack, so this is the only
+            # diagnosable record of where it failed.
             with errors_lock:
-                errors.append(f"grid {k}: {exc!r}")
+                errors.append(f"grid {k}:\n{traceback.format_exc()}")
             stop_event.set()
 
     threads = [

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import threading
 from abc import ABC, abstractmethod
+from typing import Any, Iterator, Tuple
 
 import numpy as np
 
@@ -40,7 +41,7 @@ class WritePolicy(ABC):
 
     name = "abstract"
 
-    def __init__(self, n: int):
+    def __init__(self, n: int) -> None:
         self.n = int(n)
 
     @abstractmethod
@@ -61,7 +62,7 @@ class LockWrite(WritePolicy):
 
     name = "lock"
 
-    def __init__(self, n: int):
+    def __init__(self, n: int) -> None:
         super().__init__(n)
         self._lock = threading.Lock()
 
@@ -69,7 +70,7 @@ class LockWrite(WritePolicy):
         with self._lock:
             target += update
 
-    def assign_slice(self, target, lo, hi, values) -> None:
+    def assign_slice(self, target: np.ndarray, lo: int, hi: int, values: np.ndarray) -> None:
         with self._lock:
             target[lo:hi] = values
 
@@ -83,7 +84,7 @@ class AtomicWrite(WritePolicy):
 
     name = "atomic"
 
-    def __init__(self, n: int, stripe: int = 1024):
+    def __init__(self, n: int, stripe: int = 1024) -> None:
         super().__init__(n)
         if stripe < 1:
             raise ValueError("stripe must be >= 1")
@@ -91,7 +92,7 @@ class AtomicWrite(WritePolicy):
         self.nstripes = max(1, -(-n // self.stripe))
         self._locks = [threading.Lock() for _ in range(self.nstripes)]
 
-    def _ranges(self, lo: int = 0, hi: int | None = None):
+    def _ranges(self, lo: int = 0, hi: int | None = None) -> Iterator[Tuple[int, int, int]]:
         hi = self.n if hi is None else hi
         first = lo // self.stripe
         last = (hi - 1) // self.stripe if hi > lo else first - 1
@@ -105,7 +106,7 @@ class AtomicWrite(WritePolicy):
             with self._locks[s]:
                 target[a:b] += update[a:b]
 
-    def assign_slice(self, target, lo, hi, values) -> None:
+    def assign_slice(self, target: np.ndarray, lo: int, hi: int, values: np.ndarray) -> None:
         for s, a, b in self._ranges(lo, hi):
             with self._locks[s]:
                 target[a:b] = values[a - lo : b - lo]
@@ -126,7 +127,7 @@ class UnsafeWrite(WritePolicy):
     def add(self, target: np.ndarray, update: np.ndarray) -> None:
         target += update
 
-    def assign_slice(self, target, lo, hi, values) -> None:
+    def assign_slice(self, target: np.ndarray, lo: int, hi: int, values: np.ndarray) -> None:
         target[lo:hi] = values
 
     def read(self, source: np.ndarray) -> np.ndarray:
@@ -136,7 +137,7 @@ class UnsafeWrite(WritePolicy):
 _POLICIES = {"lock": LockWrite, "atomic": AtomicWrite, "unsafe": UnsafeWrite}
 
 
-def make_write_policy(name: str, n: int, **kwargs) -> WritePolicy:
+def make_write_policy(name: str, n: int, **kwargs: Any) -> WritePolicy:
     """Build a write policy by name (``"lock"``, ``"atomic"``, ``"unsafe"``)."""
     if name not in _POLICIES:
         raise KeyError(f"unknown write policy {name!r}; known: {sorted(_POLICIES)}")

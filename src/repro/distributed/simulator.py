@@ -289,7 +289,9 @@ def simulate_distributed(
                 # A rejected correction is discarded outright: the
                 # process just computes the next one from its replica.
                 e = np.zeros(n) if screened is None else screened
-            x_true += e
+            # The discrete-event loop is single-threaded: the true
+            # iterate is only touched here, between events.
+            x_true += e  # repro: noqa[RPR001] event-loop is the serialization point
             counts[proc] += 1
             if track_trace:
                 trace.append((t, two_norm(b - A @ x_true) / nb))

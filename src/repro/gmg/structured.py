@@ -11,7 +11,6 @@ the missing neighbour (the boundary value is zero).
 
 from __future__ import annotations
 
-import numpy as np
 import scipy.sparse as sp
 
 from ..amg.galerkin import galerkin_product

@@ -31,7 +31,7 @@ satellite fix gives :class:`~repro.distributed.NetworkModel`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
@@ -210,7 +210,7 @@ class FaultInjector:
     indexed by ``(grid, corrections completed)``.
     """
 
-    def __init__(self, plan: FaultPlan, ngrids: int):
+    def __init__(self, plan: FaultPlan, ngrids: int) -> None:
         self.plan = plan
         self.ngrids = int(ngrids)
         for f in plan.crashes:

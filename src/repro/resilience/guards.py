@@ -120,7 +120,7 @@ class Guard:
         policy: GuardPolicy,
         ref_norm: float,
         telemetry: Optional[FaultTelemetry] = None,
-    ):
+    ) -> None:
         self.policy = policy
         self.ref_norm = max(float(ref_norm), 1e-30)
         self.telemetry = telemetry if telemetry is not None else FaultTelemetry()

@@ -27,7 +27,7 @@ from __future__ import annotations
 import numpy as np
 import scipy.sparse as sp
 
-from ..linalg import as_csr, csr_diagonal
+from ..linalg import csr_diagonal
 from .base import register
 from .gauss_seidel import HybridJGS
 

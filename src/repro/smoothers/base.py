@@ -10,7 +10,6 @@ of ``M^{-1}`` (and ``M``, ``M^T``) without ever forming inverses.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Optional
 
 import numpy as np
 import scipy.sparse as sp

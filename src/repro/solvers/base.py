@@ -26,6 +26,7 @@ import scipy.sparse as sp
 
 from ..amg import Hierarchy
 from ..linalg import rel_residual_norm
+from ..resilience import FaultTelemetry
 from ..smoothers import Smoother, make_smoother
 from .coarse import CoarseSolver
 
@@ -51,6 +52,11 @@ class SolveResult:
     diverged:
         True when the final relative residual exceeds the divergence
         threshold (the paper's dagger entries).
+    stalled / telemetry:
+        The uniform result contract (RPR005): a synchronous fixed-cycle
+        solve cannot stall and injects no faults, so these stay at
+        their defaults — but consumers that mix sync and async results
+        never need ``hasattr`` probes.
     """
 
     x: np.ndarray
@@ -58,6 +64,8 @@ class SolveResult:
     cycles: int = 0
     corrections: int = 0
     diverged: bool = False
+    stalled: bool = False
+    telemetry: FaultTelemetry = field(default_factory=FaultTelemetry)
 
     @property
     def final_relres(self) -> float:

@@ -14,7 +14,6 @@ Two quantities the paper leans on implicitly:
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
 
 import numpy as np
 

@@ -55,6 +55,11 @@ def b_7pt(A_7pt):
 
 
 @pytest.fixture(scope="session")
+def b_27pt(A_27pt):
+    return random_rhs(A_27pt.shape[0], seed=27)
+
+
+@pytest.fixture(scope="session")
 def hier_7pt(A_7pt):
     return setup_hierarchy(A_7pt, SetupOptions(aggressive_levels=0, max_coarse=20))
 

@@ -1,0 +1,55 @@
+"""Seeded violations of every RPR rule — linter test fixture.
+
+This file is *linted as text* by ``tests/test_analysis_linter.py``
+(with ``ignore_scope=True``); it is never imported, never collected by
+pytest, and excluded from ruff (``extend-exclude = ["tests/fixtures"]``).
+Every block below must keep triggering exactly the rule named above it.
+"""
+
+import threading
+import time
+
+import numpy as np
+
+_locks = [threading.Lock() for _ in range(4)]
+
+
+def rpr001_direct_shared_mutation(x, r, e, lo, hi, vals):
+    # RPR001: direct mutation of the shared iterate / residual.
+    x += e
+    x[lo:hi] += e[lo:hi]
+    r[lo:hi] = vals
+
+
+def rpr002_nested_and_descending(data):
+    # RPR002: nested acquisition of two stripe locks...
+    with _locks[0]:
+        with _locks[1]:
+            data += 1
+    # ...and a descending stripe sweep.
+    for s in reversed(range(4)):
+        with _locks[s]:
+            data += 1
+
+
+def rpr003_unseeded_randomness():
+    # RPR003: legacy module-level RNG and unseeded default_rng().
+    noise = np.random.rand(3)
+    rng = np.random.default_rng()
+    return noise, rng
+
+
+def rpr004_wall_clock():
+    # RPR004: wall-clock time in a measurement.
+    start = time.time()
+    return time.time() - start
+
+
+from dataclasses import dataclass  # noqa: E402
+
+
+@dataclass
+class BrokenResult:
+    # RPR005: missing 'stalled'/'telemetry', and a shared mutable default.
+    x: float = 0.0
+    errors: list = []

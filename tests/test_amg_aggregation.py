@@ -12,7 +12,7 @@ from repro.amg.aggregation import (
     tentative_prolongator,
     _block_condense,
 )
-from repro.problems import laplacian_7pt, random_rhs
+from repro.problems import random_rhs
 from repro.problems.fem import elasticity_cantilever
 from repro.solvers import Multadd, MultiplicativeMultigrid
 

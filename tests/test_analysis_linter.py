@@ -1,0 +1,121 @@
+"""Tests for the RPR project linter (repro.analysis)."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import ALL_RULES, lint_source, run_linter, rule_by_code
+
+FIXTURE = Path(__file__).parent / "fixtures" / "rule_violations.py"
+ALL_CODES = ("RPR001", "RPR002", "RPR003", "RPR004", "RPR005")
+
+
+def lint_fixture(**kwargs):
+    source = FIXTURE.read_text(encoding="utf-8")
+    return lint_source(source, "fixtures/rule_violations.py", ignore_scope=True, **kwargs)
+
+
+class TestRuleRegistry:
+    def test_all_rules_present(self):
+        assert sorted(r.code for r in ALL_RULES) == sorted(ALL_CODES)
+
+    def test_metadata_complete(self):
+        for rule in ALL_RULES:
+            assert rule.code.startswith("RPR")
+            assert rule.name
+            assert rule.description
+            assert rule.hint, f"{rule.code} has no fixit hint"
+
+    def test_rule_by_code(self):
+        assert rule_by_code("RPR003").name == "seeded-generator-rng"
+        with pytest.raises(KeyError):
+            rule_by_code("RPR999")
+
+
+class TestFixtureViolations:
+    """The seeded fixture is flagged by every rule."""
+
+    @pytest.mark.parametrize("code", ALL_CODES)
+    def test_rule_fires(self, code):
+        active, _ = lint_fixture()
+        assert any(f.code == code for f in active), f"{code} did not fire"
+
+    def test_rpr001_counts(self):
+        active, _ = lint_fixture()
+        assert len([f for f in active if f.code == "RPR001"]) == 3
+
+    def test_rpr002_both_patterns(self):
+        active, _ = lint_fixture()
+        msgs = [f.message for f in active if f.code == "RPR002"]
+        assert any("nested" in m for m in msgs)
+        assert any("descending" in m for m in msgs)
+
+    def test_rpr005_both_contracts(self):
+        active, _ = lint_fixture()
+        msgs = [f.message for f in active if f.code == "RPR005"]
+        assert any("missing required result field" in m for m in msgs)
+        assert any("mutable default" in m for m in msgs)
+
+    def test_findings_carry_hint_and_location(self):
+        active, _ = lint_fixture()
+        for f in active:
+            assert f.line > 0
+            assert f.path == "fixtures/rule_violations.py"
+            formatted = f.format()
+            assert f.code in formatted
+
+
+class TestScope:
+    def test_rpr001_scoped_to_executors(self):
+        source = "def f(x, e):\n    x += e\n"
+        active, _ = lint_source(source, "some/other/module.py")
+        assert not any(f.code == "RPR001" for f in active)
+        active, _ = lint_source(source, "core/threaded.py")
+        assert any(f.code == "RPR001" for f in active)
+
+
+class TestSuppression:
+    SRC = "import time\nt = time.time()  # repro: noqa[RPR004] {just}\n"
+
+    def test_justified_noqa_suppresses(self):
+        active, suppressed = lint_source(
+            self.SRC.format(just="boot banner, not a duration"), "m.py", strict=True
+        )
+        assert not any(f.code == "RPR004" for f in active)
+        sup = [f for f in suppressed if f.code == "RPR004"]
+        assert len(sup) == 1
+        assert sup[0].justification == "boot banner, not a duration"
+
+    def test_bare_noqa_suppresses_all_codes_non_strict(self):
+        source = "import time\nt = time.time()  # repro: noqa\n"
+        active, suppressed = lint_source(source, "m.py", strict=False)
+        assert not active
+        assert suppressed
+
+    def test_strict_rejects_unjustified_noqa(self):
+        source = "import time\nt = time.time()  # repro: noqa[RPR004]\n"
+        active, suppressed = lint_source(source, "m.py", strict=True)
+        assert not suppressed
+        assert len(active) == 1
+        assert "suppression rejected" in active[0].message
+
+    def test_noqa_for_other_code_does_not_suppress(self):
+        source = "import time\nt = time.time()  # repro: noqa[RPR003] wrong code\n"
+        active, _ = lint_source(source, "m.py", strict=True)
+        assert any(f.code == "RPR004" for f in active)
+
+
+class TestRepoIsClean:
+    def test_installed_tree_passes_strict(self):
+        report = run_linter(strict=True)
+        assert report.files_checked > 50
+        assert report.ok, report.format()
+
+    def test_every_suppression_is_justified(self):
+        report = run_linter(strict=True)
+        for f in report.suppressed:
+            assert f.justification, f.format()
+
+    def test_report_format_summary_line(self):
+        report = run_linter(strict=True)
+        assert "finding(s)" in report.format()

@@ -52,6 +52,94 @@ class TestConcurrency:
         assert np.all(target == nthreads * reps)
 
 
+class TestInterleaving:
+    """Consistency under a concurrent reader (Section IV semantics)."""
+
+    def test_lock_reader_never_sees_half_applied_update(self):
+        # LockWrite's contract: the whole-vector update is atomic, so a
+        # reader observes either all of an add or none of it — every
+        # read of a uniformly-incremented vector is itself uniform.
+        n = 4096
+        pol = LockWrite(n)
+        target = np.zeros(n)
+        stop = threading.Event()
+        bad = []
+
+        def writer():
+            delta = np.ones(n)
+            while not stop.is_set():
+                pol.add(target, delta)
+
+        def reader():
+            for _ in range(300):
+                snap = pol.read(target)
+                if snap.min() != snap.max():
+                    bad.append((snap.min(), snap.max()))
+            stop.set()
+
+        threads = [threading.Thread(target=writer), threading.Thread(target=reader)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not bad, f"reader saw torn whole-vector updates: {bad[:3]}"
+
+    def test_atomic_reader_sees_consistent_stripes(self):
+        # AtomicWrite only promises per-stripe consistency: a concurrent
+        # reader may see an update half-committed *across* stripes, but
+        # never within one stripe.
+        n, stripe = 4096, 512
+        pol = AtomicWrite(n, stripe=stripe)
+        target = np.zeros(n)
+        stop = threading.Event()
+        bad = []
+
+        def writer():
+            delta = np.ones(n)
+            while not stop.is_set():
+                pol.add(target, delta)
+
+        def reader():
+            for _ in range(300):
+                snap = pol.read(target)
+                for _, a, b in pol._ranges():
+                    seg = snap[a:b]
+                    if seg.min() != seg.max():
+                        bad.append((a, b))
+            stop.set()
+
+        threads = [threading.Thread(target=writer), threading.Thread(target=reader)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not bad, f"reader saw torn stripes: {bad[:3]}"
+
+    def test_atomic_concurrent_adds_disjoint_slices(self):
+        # Writers assigning disjoint slices through the same policy
+        # never corrupt each other's region.
+        n = 1024
+        pol = AtomicWrite(n, stripe=128)
+        target = np.zeros(n)
+        nthreads = 4
+        width = n // nthreads
+
+        def assigner(i):
+            lo, hi = i * width, (i + 1) * width
+            for _ in range(100):
+                pol.assign_slice(target, lo, hi, np.full(width, float(i + 1)))
+
+        threads = [
+            threading.Thread(target=assigner, args=(i,)) for i in range(nthreads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        for i in range(nthreads):
+            assert np.all(target[i * width : (i + 1) * width] == i + 1)
+
+
 class TestAtomicWrite:
     def test_stripe_count(self):
         pol = AtomicWrite(1000, stripe=256)

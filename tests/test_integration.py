@@ -7,7 +7,6 @@ reports.
 """
 
 import numpy as np
-import pytest
 
 from repro import (
     AFACx,

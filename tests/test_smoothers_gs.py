@@ -2,7 +2,6 @@
 
 import numpy as np
 import pytest
-import scipy.sparse as sp
 
 from repro.linalg import lower_triangle
 from repro.smoothers import GaussSeidel, HybridJGS, make_smoother

@@ -1,6 +1,5 @@
 """Unit tests for repro.utils."""
 
-import numpy as np
 import pytest
 
 from repro.utils import (

@@ -1,6 +1,5 @@
 """Unit tests for the ASCII plotting utilities."""
 
-import numpy as np
 import pytest
 
 from repro.utils import ascii_semilogy, ascii_timeline
