@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from pathlib import Path
 
-__all__ = ["emit"]
+__all__ = ["emit", "emit_series"]
 
 
 def emit(results_dir: Path, name: str, text: str) -> None:
@@ -12,3 +12,18 @@ def emit(results_dir: Path, name: str, text: str) -> None:
     print()
     print(text)
     (results_dir / f"{name}.txt").write_text(text + "\n")
+
+
+def emit_series(results_dir: Path, name: str, result) -> Path:
+    """Persist a result's residual-vs-time series as ``name.residuals.csv``.
+
+    Accepts any backend result carrying ``residual_samples`` /
+    ``residual_trace`` (see :func:`repro.observe.series_from_result`),
+    so the figure benches share one plotting format with ``repro trace
+    export --residuals``.
+    """
+    from repro.observe import series_from_result, write_residual_series
+
+    path = results_dir / f"{name}.residuals.csv"
+    write_residual_series(series_from_result(result), path)
+    return path

@@ -17,7 +17,7 @@ from repro.problems import build_problem
 from repro.solvers import AFACx, Multadd
 from repro.utils import format_table, scaled_sizes, spawn_seeds
 
-from _common import emit
+from _common import emit, emit_series
 
 ALPHAS = (0.1, 0.3, 0.5, 0.7, 0.9)
 PAPER_SIZES = (40, 50, 60, 70, 80)
@@ -67,6 +67,24 @@ def test_fig1_semi_async_multadd(benchmark, results_dir, runs):
     last_col = [r[-1] for r in rows]  # a=0.9 across sizes
     first_col = [r[3] for r in rows]  # a=0.1 across sizes
     assert np.mean(last_col) <= np.mean(first_col) * 1.5
+
+
+def test_fig1_residual_series(results_dir):
+    """Persist a representative semi-async residual-vs-time series in
+    the shared observe CSV format (same file ``repro trace export
+    --residuals`` writes)."""
+    size = scaled_sizes(PAPER_SIZES)[-1]
+    p = build_problem("27pt", size, rhs_seed=0)
+    h = setup_hierarchy(p.A, SetupOptions(coarsen_type="hmis", aggressive_levels=1))
+    solver = Multadd(h, smoother="jacobi", weight=0.9)
+    sim = simulate_semi_async(
+        solver,
+        p.b,
+        ScheduleParams(alpha=0.5, delta=0, updates_per_grid=20, seed=0),
+        track_trace=True,
+    )
+    path = emit_series(results_dir, "fig1_multadd", sim)
+    assert path.exists() and len(path.read_text().splitlines()) > 1
 
 
 def test_fig1_semi_async_afacx(benchmark, results_dir, runs):

@@ -21,7 +21,7 @@ from repro.problems import build_problem
 from repro.solvers import AFACx, Multadd
 from repro.utils import format_table, scaled_sizes, spawn_seeds
 
-from _common import emit
+from _common import emit, emit_series
 
 DELTAS = (0, 1, 2, 4, 8)
 PAPER_SIZES = (40, 50, 60, 70, 80)
@@ -91,6 +91,23 @@ def test_fig2_full_async_residual_multadd(benchmark, results_dir, runs):
         ),
     )
     assert all(np.isfinite(r[-1]) for r in rows)
+
+
+def test_fig2_residual_series(results_dir):
+    """Persist representative full-async residual-vs-time series
+    (solution- and residual-based) in the shared observe CSV format."""
+    size = scaled_sizes(PAPER_SIZES)[-1]
+    p = build_problem("27pt", size, rhs_seed=0)
+    h = setup_hierarchy(p.A, SetupOptions(coarsen_type="hmis", aggressive_levels=1))
+    solver = Multadd(h, smoother="jacobi", weight=0.9)
+    params = ScheduleParams(alpha=ALPHA, delta=4, updates_per_grid=20, seed=0)
+    for name, simulate in (
+        ("fig2_multadd_solution", simulate_full_async_solution),
+        ("fig2_multadd_residual", simulate_full_async_residual),
+    ):
+        sim = simulate(solver, p.b, params, track_trace=True)
+        path = emit_series(results_dir, name, sim)
+        assert path.exists() and len(path.read_text().splitlines()) > 1
 
 
 def test_fig2_full_async_afacx(benchmark, results_dir, runs):

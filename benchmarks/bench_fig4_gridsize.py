@@ -18,7 +18,7 @@ from repro.problems import build_problem
 from repro.solvers import AFACx, Multadd, MultiplicativeMultigrid
 from repro.utils import format_table, scaled_sizes, spawn_seeds
 
-from _common import emit
+from _common import emit, emit_series
 
 PAPER_SIZES = (30, 40, 50, 60)
 ALPHA = 0.5  # modest thread imbalance, as on a real shared-memory node
@@ -85,6 +85,29 @@ def _run(test_set, smoother, runs):
         rows.append(row)
     headers = ["grid len", "rows"] + [m[0] for m in METHODS]
     return headers, rows
+
+
+def test_fig4_residual_series(results_dir):
+    """Persist a representative async-engine residual-vs-time series
+    (Multadd local-res, largest Fig-4 grid) in the shared observe CSV
+    format."""
+    size = scaled_sizes(PAPER_SIZES)[-1]
+    p = build_problem("7pt", size, rhs_seed=0)
+    h = setup_hierarchy(p.A, SetupOptions(coarsen_type="hmis", aggressive_levels=1))
+    solver = Multadd(h, smoother="jacobi", weight=0.9)
+    res = run_async_engine(
+        solver,
+        p.b,
+        tmax=20,
+        rescomp="local",
+        write="lock",
+        criterion="criterion1",
+        alpha=ALPHA,
+        seed=0,
+        track_trace=True,
+    )
+    path = emit_series(results_dir, "fig4_multadd_local", res)
+    assert path.exists() and len(path.read_text().splitlines()) > 1
 
 
 def test_fig4_7pt_jacobi(benchmark, results_dir, runs):

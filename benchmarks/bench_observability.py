@@ -1,0 +1,95 @@
+"""Tracing overhead — solve wall time with the tracer on vs off.
+
+Measures the cost of the ``repro.observe`` instrumentation on the two
+backends where it sits on a hot path: the sequential engine (events on
+every chunked read/write micro-step) and the threaded executor (a
+``TracedPolicy`` wrapping every stripe commit plus per-correction
+events).  Methodology: the traced and plain arms are timed
+*alternately* (so machine drift hits both equally) and compared on
+best-of-``BEST_OF`` wall time; overhead = traced/plain - 1.
+
+Documented bound: <= 5% best-of overhead on a quiet box at
+representative sizes (see docs/OBSERVABILITY.md for the design that
+makes this hold — per-worker append-only ring buffers, no cross-thread
+locking on the record path, and residual snapshots that piggyback on
+norms the run computes anyway instead of adding SpMVs).  The threaded
+arm's wall time additionally depends on GIL interleaving, which the
+tracer perturbs, so the assertion below uses a looser 25% guard to
+keep a noisy shared CI box from flaking; ``results/observability.txt``
+records what this machine actually measured.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.amg import SetupOptions, setup_hierarchy
+from repro.core import run_async_engine, run_threaded
+from repro.observe import Tracer
+from repro.problems import build_problem
+from repro.solvers import Multadd
+from repro.utils import format_table
+
+from _common import emit
+
+BEST_OF = 7
+TMAX = 10
+SIZE = 16  # 4096 rows — big enough that numerical work dominates
+
+
+def _overhead_row(label, plain, traced):
+    """Alternate the two arms so drift cancels; compare best-of runs."""
+    t_plain = t_traced = float("inf")
+    for _ in range(BEST_OF):
+        t0 = time.perf_counter()
+        plain()
+        t_plain = min(t_plain, time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        traced()
+        t_traced = min(t_traced, time.perf_counter() - t0)
+    over = t_traced / t_plain - 1.0
+    return [label, t_plain * 1e3, t_traced * 1e3, 100.0 * over], over
+
+
+def test_observability_overhead(benchmark, results_dir):
+    p = build_problem("7pt", SIZE, rhs_seed=0)
+    h = setup_hierarchy(p.A, SetupOptions(aggressive_levels=1, max_coarse=20))
+    solver = Multadd(h, smoother="jacobi", weight=0.9)
+
+    def run_engine(tracer=None):
+        return run_async_engine(solver, p.b, tmax=TMAX, seed=3, tracer=tracer)
+
+    def run_thr(tracer=None):
+        return run_threaded(solver, p.b, tmax=TMAX, write="lock", tracer=tracer)
+
+    rows = []
+    row, eng_over = benchmark.pedantic(
+        lambda: _overhead_row(
+            "engine", run_engine, lambda: run_engine(Tracer(clock="steps"))
+        ),
+        iterations=1,
+        rounds=1,
+    )
+    rows.append(row)
+    row, thr_over = _overhead_row(
+        "threaded", run_thr, lambda: run_thr(Tracer(clock="s"))
+    )
+    rows.append(row)
+
+    # Sanity: a traced run actually produced events.
+    traced = run_engine(Tracer(clock="steps"))
+    assert traced.trace_summary is not None
+    assert traced.trace_summary.events > 0
+
+    emit(
+        results_dir,
+        "observability",
+        format_table(
+            ["backend", "plain ms", "traced ms", "overhead %"],
+            rows,
+            title=f"Tracing overhead (best of {BEST_OF}, 7pt size {SIZE}, tmax={TMAX})",
+        ),
+    )
+    # Loose CI guard; the documented quiet-box bound is 5%.
+    assert eng_over < 0.25, f"engine tracing overhead {eng_over:.1%} >= 25%"
+    assert thr_over < 0.25, f"threaded tracing overhead {thr_over:.1%} >= 25%"

@@ -74,6 +74,7 @@ class Rule(ABC):
 def _collect_rules() -> List[Rule]:
     # Imported here (not at module top) so the registry and the rule
     # modules cannot form an import cycle.
+    from .hot_path import HotPathEmissionRule
     from .lock_order import LockOrderRule
     from .result_contract import ResultContractRule
     from .rng import SeededRngRule
@@ -86,6 +87,7 @@ def _collect_rules() -> List[Rule]:
         SeededRngRule,
         WallClockRule,
         ResultContractRule,
+        HotPathEmissionRule,
     ]
     rules = [cls() for cls in classes]
     codes = [r.code for r in rules]

@@ -8,6 +8,8 @@ Commands
 ``table1``   Produce one matrix's Table-I block.
 ``analyze``  Static concurrency lint (RPR rules) + optional
              instrumented model-conformance run.
+``trace``    Record (``run``), summarize (``report``) and convert
+             (``export``) traces from the :mod:`repro.observe` layer.
 
 Examples
 --------
@@ -24,11 +26,16 @@ Examples
     python -m repro table1 --set 7pt --size 10 --smoother jacobi --tol 1e-6
     python -m repro analyze --strict
     python -m repro analyze --conformance --set 27pt --size 8 --tmax 5
+    python -m repro trace run --set 7pt --size 8 --backend threaded \\
+        --tmax 10 --out run.jsonl
+    python -m repro trace report run.jsonl --delta 8
+    python -m repro trace export run.jsonl --chrome run.chrome.json
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -50,6 +57,9 @@ from .solvers import AFACx, BPX, Multadd, MultiplicativeMultigrid
 from .utils import format_table
 
 __all__ = ["main"]
+
+#: Event-time unit per async backend (see repro.observe.Tracer).
+_BACKEND_CLOCK = {"engine": "steps", "threaded": "s", "distributed": "sim"}
 
 
 def _add_problem_args(p: argparse.ArgumentParser) -> None:
@@ -118,12 +128,23 @@ def _cmd_solve(args) -> int:
     if (faults is not None or guard is not None) and not args.run_async:
         print("error: --faults/--guards require --run-async", file=sys.stderr)
         return 2
+    trace_path = getattr(args, "trace", None)
+    if trace_path and not args.run_async:
+        print("error: --trace requires --run-async", file=sys.stderr)
+        return 2
     if args.run_async:
         if args.method == "mult":
             print("error: the multiplicative method cannot run asynchronously", file=sys.stderr)
             return 2
+        tracer = None
+        if trace_path:
+            from .observe import Tracer
+
+            tracer = Tracer(clock=_BACKEND_CLOCK[args.backend])
         try:
-            res, label = _dispatch_async(args, solver, problem, faults, guard)
+            res, label = _dispatch_async(
+                args, solver, problem, faults, guard, tracer=tracer
+            )
         except ValueError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
@@ -135,6 +156,27 @@ def _cmd_solve(args) -> int:
         )
         if faults is not None or guard is not None:
             print(f"faults/guards: {res.telemetry.summary()}")
+        if tracer is not None:
+            from .observe import write_events_jsonl
+
+            write_events_jsonl(
+                tracer.events(),
+                trace_path,
+                meta={
+                    "clock": tracer.clock,
+                    "backend": args.backend,
+                    "problem": args.test_set,
+                    "n": problem.n,
+                    "ngrids": solver.ngrids,
+                    "method": args.method,
+                    "rescomp": args.rescomp,
+                    "write": args.write,
+                    "criterion": args.criterion,
+                    "tmax": args.tmax,
+                    "seed": args.seed,
+                },
+            )
+            print(f"trace: wrote {trace_path} — {res.trace_summary.oneline()}")
     else:
         res = solver.solve(problem.b, tmax=args.tmax)
         print(
@@ -144,7 +186,7 @@ def _cmd_solve(args) -> int:
     return 0
 
 
-def _dispatch_async(args, solver, problem, faults, guard):
+def _dispatch_async(args, solver, problem, faults, guard, tracer=None):
     """Run the chosen async backend; returns (result, display label)."""
     if args.backend == "engine":
         res = run_async_engine(
@@ -158,6 +200,10 @@ def _dispatch_async(args, solver, problem, faults, guard):
             seed=args.seed,
             faults=faults,
             guard=guard,
+            tracer=tracer,
+            # Traced runs want the residual-vs-time series; the engine
+            # only snapshots residuals it is computing anyway.
+            track_trace=tracer is not None,
         )
         label = f"async {args.method} ({args.rescomp}-res, {args.write}-write, {args.criterion})"
     elif args.backend == "threaded":
@@ -170,6 +216,7 @@ def _dispatch_async(args, solver, problem, faults, guard):
             criterion=args.criterion,
             faults=faults,
             guard=guard,
+            tracer=tracer,
         )
         label = f"threaded {args.method} ({args.rescomp}-res, {args.write}-write, {args.criterion})"
     else:  # distributed
@@ -183,6 +230,8 @@ def _dispatch_async(args, solver, problem, faults, guard):
             seed=args.seed,
             faults=faults,
             guard=guard,
+            tracer=tracer,
+            track_trace=tracer is not None,
         )
         label = f"distributed {args.method} ({res.strategy}-res, {args.criterion})"
     return res, label
@@ -264,18 +313,8 @@ def _cmd_analyze(args) -> int:
     return 0 if ok else 1
 
 
-def build_parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(
-        prog="repro", description="Asynchronous multigrid reproduction CLI"
-    )
-    sub = parser.add_subparsers(dest="command", required=True)
-
-    p = sub.add_parser("setup", help="build and summarize a hierarchy")
-    _add_problem_args(p)
-    _add_setup_args(p)
-    p.set_defaults(func=_cmd_setup)
-
-    p = sub.add_parser("solve", help="run a solver")
+def _add_solve_args(p: argparse.ArgumentParser) -> None:
+    """Solver/async options shared by ``solve`` and ``trace run``."""
     _add_problem_args(p)
     _add_setup_args(p)
     p.add_argument("--method", choices=("mult", "multadd", "afacx", "bpx"), default="multadd")
@@ -283,7 +322,6 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--weight", type=float, default=0.9)
     p.add_argument("--nblocks", type=int, default=8)
     p.add_argument("--tmax", type=int, default=20)
-    p.add_argument("--run-async", action="store_true")
     p.add_argument("--rescomp", choices=("local", "global", "rupdate"), default="local")
     p.add_argument("--write", choices=("lock", "atomic"), default="lock")
     p.add_argument("--criterion", choices=("criterion1", "criterion2"), default="criterion2")
@@ -310,6 +348,82 @@ def build_parser() -> argparse.ArgumentParser:
         default=False,
         help="enable the resilience guard layer (screening, "
         "checkpoint/rollback, watchdog restart, retransmission)",
+    )
+
+
+def _cmd_trace_run(args) -> int:
+    # A traced async solve: `trace run --out t.jsonl` is
+    # `solve --run-async --trace t.jsonl` with the recording implied.
+    args.run_async = True
+    args.trace = args.out
+    return _cmd_solve(args)
+
+
+def _cmd_trace_report(args) -> int:
+    from .observe import TraceAnalyzer
+
+    try:
+        analyzer = TraceAnalyzer.from_file(args.trace_file)
+    except OSError as exc:
+        print(f"error: cannot read trace: {exc}", file=sys.stderr)
+        return 2
+    if not analyzer.events:
+        print(f"error: no events in {args.trace_file}", file=sys.stderr)
+        return 2
+    print(analyzer.report(delta=args.delta))
+    return 0
+
+
+def _cmd_trace_export(args) -> int:
+    from .observe import (
+        read_events_jsonl,
+        residual_series,
+        write_chrome_trace,
+        write_residual_series,
+    )
+
+    if not args.chrome and not args.residuals:
+        print("error: nothing to export (use --chrome and/or --residuals)", file=sys.stderr)
+        return 2
+    try:
+        meta, events = read_events_jsonl(args.trace_file)
+    except OSError as exc:
+        print(f"error: cannot read trace: {exc}", file=sys.stderr)
+        return 2
+    if not events:
+        print(f"error: no events in {args.trace_file}", file=sys.stderr)
+        return 2
+    clock = str(meta.get("clock", "s"))
+    if args.chrome:
+        write_chrome_trace(events, args.chrome, clock=clock)
+        print(f"wrote Chrome trace {args.chrome} (open at ui.perfetto.dev)")
+    if args.residuals:
+        series = residual_series(events, tag="global") or residual_series(events)
+        write_residual_series(series, args.residuals)
+        print(f"wrote residual series {args.residuals} ({len(series)} rows)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Asynchronous multigrid reproduction CLI"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("setup", help="build and summarize a hierarchy")
+    _add_problem_args(p)
+    _add_setup_args(p)
+    p.set_defaults(func=_cmd_setup)
+
+    p = sub.add_parser("solve", help="run a solver")
+    _add_solve_args(p)
+    p.add_argument("--run-async", action="store_true")
+    p.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="record the async run's event trace to a JSONL file "
+        "(see `repro trace report` / `repro trace export`)",
     )
     p.set_defaults(func=_cmd_solve)
 
@@ -362,12 +476,67 @@ def build_parser() -> argparse.ArgumentParser:
         "criterion-1 bound (ngrids-1)*tmax)",
     )
     p.set_defaults(func=_cmd_analyze)
+
+    p = sub.add_parser(
+        "trace",
+        help="record / summarize / convert async run traces "
+        "(repro.observe)",
+    )
+    tsub = p.add_subparsers(dest="trace_command", required=True)
+
+    tp = tsub.add_parser("run", help="run a traced async solve")
+    _add_solve_args(tp)
+    tp.add_argument(
+        "--out",
+        default="trace.jsonl",
+        metavar="PATH",
+        help="JSONL trace output path (default: trace.jsonl)",
+    )
+    tp.set_defaults(func=_cmd_trace_run)
+
+    tp = tsub.add_parser(
+        "report", help="recover model quantities + residual history from a trace"
+    )
+    tp.add_argument("trace_file", help="JSONL trace from `trace run` / `solve --trace`")
+    tp.add_argument(
+        "--delta",
+        type=float,
+        default=None,
+        help="check the observed read staleness against this bound δ",
+    )
+    tp.set_defaults(func=_cmd_trace_report)
+
+    tp = tsub.add_parser(
+        "export", help="convert a trace to Chrome trace-event JSON / residual CSV"
+    )
+    tp.add_argument("trace_file", help="JSONL trace from `trace run` / `solve --trace`")
+    tp.add_argument(
+        "--chrome",
+        default=None,
+        metavar="PATH",
+        help="write Chrome trace-event JSON (Perfetto / chrome://tracing)",
+    )
+    tp.add_argument(
+        "--residuals",
+        default=None,
+        metavar="PATH",
+        help="write the (t, relres) series as CSV",
+    )
+    tp.set_defaults(func=_cmd_trace_export)
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe — normal shell usage,
+        # not an error.  Detach stdout so the interpreter's shutdown
+        # flush doesn't raise again.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

@@ -38,13 +38,16 @@ Write policies:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Generator, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Callable, Generator, List, Optional, Tuple
 
 import numpy as np
 
 from ..linalg import two_norm
 from ..resilience import FaultInjector, FaultPlan, FaultTelemetry, Guard, GuardPolicy
 from .criteria import Criterion1, Criterion2
+
+if TYPE_CHECKING:  # runtime import would cycle through repro.observe
+    from ..observe.tracer import Tracer, TraceSummary
 
 __all__ = ["AsyncEngineResult", "run_async_engine"]
 
@@ -86,6 +89,9 @@ class AsyncEngineResult:
     telemetry: FaultTelemetry = field(default_factory=FaultTelemetry)
     """Injected-fault and guard-action counters (all zero for a
     fault-free run)."""
+    trace_summary: Optional["TraceSummary"] = None
+    """Compact digest of the recorded trace when the run was handed a
+    :class:`~repro.observe.Tracer` (None otherwise)."""
 
     @property
     def corrects(self) -> float:
@@ -182,6 +188,7 @@ def run_async_engine(
     checkpoints: Optional[List[int]] = None,
     faults: Optional[FaultPlan] = None,
     guard: Optional[GuardPolicy] = None,
+    tracer: Optional["Tracer"] = None,
 ) -> AsyncEngineResult:
     """Run asynchronous additive multigrid (Algorithm 5), sequentially.
 
@@ -220,6 +227,15 @@ def run_async_engine(
         rollback on residual spikes/divergence, and runs a staleness
         watchdog that restarts (re-syncs) grids that stopped making
         progress.  ``None`` = no protection (the ablation).
+    tracer:
+        Optional :class:`~repro.observe.Tracer` (use ``clock="steps"``).
+        Event times are scheduler micro-steps, so a traced run with a
+        fixed seed produces a bit-identical event stream on every
+        repeat.  Tracing records correction begin/end, read/write and
+        staleness, and guard/fault events; residual snapshots are only
+        emitted for norms the run computes anyway (``track_trace`` or
+        guard checkpoints), so tracing itself adds no SpMV.  The digest
+        lands on ``result.trace_summary``.
     """
     if checkpoints and criterion != "criterion2":
         raise ValueError("checkpoints require criterion2 semantics")
@@ -303,6 +319,12 @@ def run_async_engine(
     cp_results: List[Tuple[int, float, float]] = []
     activity: List[Tuple[int, int, int]] = []
     last_done = [0] * ngrids
+    # Tracing state: commit epochs count completed corrections (the
+    # dynamic analogue of the models' time instant t); a grid's read
+    # staleness is the epochs other grids committed between its input
+    # read and its own commit.
+    commit_epoch = 0
+    last_read_epoch = [-1] * ngrids
     micro = 0
     ops_per_corr = eff_chunks * 3 + 4
     max_micro = 50 * tmax * ngrids * ops_per_corr
@@ -342,24 +364,56 @@ def run_async_engine(
         if kind == "add_x":
             _, lo, hi, vals = op
             x[lo:hi] += vals  # repro: noqa[RPR001] single-threaded scheduler commit
+            if tracer is not None and lo == 0:
+                tracer.record("write", k, float(micro), 0.0, -1.0, "x")
         elif kind == "add_r":
             _, lo, hi, vals = op
             r[lo:hi] += vals  # repro: noqa[RPR001] single-threaded scheduler commit
+            if tracer is not None and lo == 0:
+                tracer.record("write", k, float(micro), 0.0, -1.0, "r")
         elif kind == "read_x":
             _, lo, hi = op
             send_val = x[lo:hi].copy()
+            if lo == 0:
+                last_read_epoch[k] = commit_epoch
+                if tracer is not None:
+                    tracer.record("read", k, float(micro), float(commit_epoch), 0.0, "x")
         elif kind == "read_r":
             _, lo, hi = op
             send_val = r[lo:hi].copy()
+            if lo == 0:
+                last_read_epoch[k] = commit_epoch
+                if tracer is not None:
+                    tracer.record("read", k, float(micro), float(commit_epoch), 0.0, "r")
         elif kind == "refresh_r":
             _, lo, hi, vals = op
             r[lo:hi] = vals  # repro: noqa[RPR001] single-threaded scheduler commit
+            if tracer is not None:
+                tracer.record("write", k, float(micro), 0.0, -1.0, "r:assign")
         elif kind == "done_correction":
             crit.record(k)
-            activity.append((k, last_done[k], micro))
+            start_micro = last_done[k]
+            activity.append((k, start_micro, micro))
             last_done[k] = micro
+            commit_epoch += 1
+            rel_now: Optional[float] = None
             if track_trace:
-                trace.append(two_norm(b - solver.A @ x) / nb)
+                rel_now = float(two_norm(b - solver.A @ x) / nb)
+                trace.append(rel_now)
+            if tracer is not None:
+                cnt = float(crit.counts[k])
+                stal = (
+                    float(commit_epoch - 1 - last_read_epoch[k])
+                    if last_read_epoch[k] >= 0
+                    else -1.0
+                )
+                tracer.record("correct_begin", k, float(start_micro), cnt)
+                tracer.record("correct_end", k, float(micro), cnt, stal)
+                # Residual snapshots piggyback on norms that are being
+                # computed anyway (track_trace / checkpoints) so that
+                # tracing alone never adds an SpMV to the hot loop.
+                if rel_now is not None:
+                    tracer.record("residual", k, float(micro), rel_now, 0.0, "global")
             while cp_idx < len(cps) and int(crit.counts.min()) >= cps[cp_idx]:
                 cp_results.append(
                     (
@@ -378,15 +432,24 @@ def run_async_engine(
                 if injector.crash_due(k, completed):
                     crashed[k] = True
                     telemetry.bump("injected_crashes")
+                    if tracer is not None:
+                        tracer.record("fault", k, float(micro), tag="crash")
                 else:
                     dur = injector.stall_due(k, completed)
                     if dur is not None:
                         stall_until[k] = micro + int(dur)
                         telemetry.bump("injected_stalls")
+                        if tracer is not None:
+                            tracer.record("fault", k, float(micro), float(dur), tag="stall")
             # --- guard: periodic checkpoint / spike rollback --------
             if ckpt_every and int(crit.counts.sum()) % ckpt_every == 0:
-                rel_now = float(two_norm(b - solver.A @ x) / nb)
+                if rel_now is None:
+                    rel_now = float(two_norm(b - solver.A @ x) / nb)
+                    if tracer is not None:
+                        tracer.record("residual", k, float(micro), rel_now, 0.0, "global")
                 action, x_restore = grd.checkpoint_or_rollback(x, rel_now)
+                if tracer is not None and action != "none":
+                    tracer.record("guard", k, float(micro), tag=action)
                 if action == "rollback":
                     x[:] = x_restore  # repro: noqa[RPR001] rollback at the scheduler barrier
                     r[:] = b - solver.A @ x  # repro: noqa[RPR001] rollback at the scheduler barrier
@@ -398,7 +461,11 @@ def run_async_engine(
                     if micro - last_done[j] <= wd_micro:
                         continue
                     telemetry.bump("watchdog_detections")
+                    if tracer is not None:
+                        tracer.record("guard", j, float(micro), tag="watchdog")
                     if grd.try_restart():
+                        if tracer is not None:
+                            tracer.record("guard", j, float(micro), tag="restart")
                         # Replica re-sync: the restarted grid starts
                         # from the residual of the current iterate.
                         gens[j] = spawn(j, r0=b - solver.A @ x)
@@ -417,6 +484,8 @@ def run_async_engine(
                 if grd is not None:
                     action, x_restore = grd.checkpoint_or_rollback(x, np.inf)
                     if action == "rollback":
+                        if tracer is not None:
+                            tracer.record("guard", k, float(micro), tag="rollback")
                         x[:] = x_restore  # repro: noqa[RPR001] rollback at the scheduler barrier
                         r[:] = b - solver.A @ x  # repro: noqa[RPR001] rollback at the scheduler barrier
                         recovered = True
@@ -450,4 +519,5 @@ def run_async_engine(
         checkpoint_results=cp_results,
         stalled=stalled,
         telemetry=telemetry,
+        trace_summary=tracer.summary() if tracer is not None else None,
     )

@@ -25,7 +25,7 @@ import threading
 import time as _time
 import traceback
 from dataclasses import dataclass, field
-from typing import Any, Callable, List, Optional
+from typing import TYPE_CHECKING, Any, Callable, List, Optional
 
 import numpy as np
 
@@ -33,6 +33,9 @@ from ..linalg import two_norm
 from ..resilience import FaultInjector, FaultPlan, FaultTelemetry, Guard, GuardPolicy
 from .criteria import Criterion1, Criterion2
 from .writes import WritePolicy, make_write_policy
+
+if TYPE_CHECKING:  # runtime import would cycle through repro.observe
+    from ..observe.tracer import TracedPolicy, Tracer, TraceSummary
 
 __all__ = ["ThreadedResult", "run_threaded"]
 
@@ -74,6 +77,9 @@ class ThreadedResult:
     no restart budget remained."""
     telemetry: FaultTelemetry = field(default_factory=FaultTelemetry)
     """Injected-fault and guard-action counters (zero when fault-free)."""
+    trace_summary: Optional["TraceSummary"] = None
+    """Compact digest of the recorded trace when the run was handed a
+    :class:`~repro.observe.Tracer` (None otherwise)."""
 
     @property
     def corrects(self) -> float:
@@ -102,6 +108,7 @@ def run_threaded(
     faults: Optional[FaultPlan] = None,
     guard: Optional[GuardPolicy] = None,
     policy_wrapper: Optional[Callable[[WritePolicy], WritePolicy]] = None,
+    tracer: Optional["Tracer"] = None,
 ) -> ThreadedResult:
     """Run asynchronous additive multigrid with real threads.
 
@@ -130,6 +137,14 @@ def run_threaded(
     :class:`repro.analysis.racecheck.CheckedWrite` uses to instrument
     a run with happens-before checking without changing its
     synchronization.
+
+    ``tracer`` is the parallel observability hook: both shared-vector
+    policies are wrapped in
+    :class:`~repro.observe.TracedPolicy` (outside ``policy_wrapper``,
+    delegating to it, so both hooks compose), each worker records into
+    its own per-thread ring buffer (no cross-thread locking on the hot
+    path), and the merged digest lands on ``result.trace_summary``.
+    Event times are wall seconds from the run's start.
     """
     if rescomp not in _RESCOMP:
         raise ValueError(f"rescomp must be one of {_RESCOMP}")
@@ -150,6 +165,15 @@ def run_threaded(
     if policy_wrapper is not None:
         xpol = policy_wrapper(xpol)
         rpol = policy_wrapper(rpol)
+    traced_x: Optional["TracedPolicy"] = None
+    if tracer is not None:
+        # Imported lazily: repro.observe imports repro.core.writes, so a
+        # module-level import here would be circular.
+        from ..observe.tracer import TracedPolicy as _TracedPolicy
+
+        traced_x = _TracedPolicy(xpol, tracer, "x")
+        xpol = traced_x
+        rpol = _TracedPolicy(rpol, tracer, "r")
 
     # Row ownership for the global-res no-wait parfor (work shares).
     work = solver.work_per_grid()
@@ -164,6 +188,9 @@ def run_threaded(
     nb = two_norm(b) or 1.0
 
     telemetry = FaultTelemetry()
+    # Single-writer telemetry shards: each worker bumps only its own,
+    # merged into `telemetry` once at run end — no lock per bump.
+    shards = [FaultTelemetry() for _ in range(ngrids)]
     injector = (
         FaultInjector(faults, ngrids)
         if faults is not None and faults.active
@@ -172,6 +199,8 @@ def run_threaded(
     grd = Guard(guard, nb, telemetry) if guard is not None else None
 
     t0 = _time.perf_counter()
+    if tracer is not None:
+        tracer.restart_clock()  # event times = seconds since run start
     deadline = t0 + timeout
     # Per-worker liveness: workers stamp their heartbeat each loop
     # iteration; the supervisor declares a worker hung/dead from these
@@ -179,6 +208,9 @@ def run_threaded(
     heartbeats = [t0] * ngrids
 
     def worker(k: int, resync: bool = False) -> None:
+        if tracer is not None:
+            tracer.register_worker(k)
+        shard = shards[k]
         # A restarted worker re-syncs from the shared iterate instead
         # of assuming the initial residual b (its replica is gone).
         r_local = (b - A @ xpol.read(x)) if resync else b.copy()
@@ -188,19 +220,25 @@ def run_threaded(
                 if injector is not None:
                     completed = int(crit.counts[k])
                     if injector.crash_due(k, completed):
-                        telemetry.bump("injected_crashes")
+                        shard.bump("injected_crashes")
+                        if tracer is not None:
+                            tracer.record_here("fault", tag="crash")
                         return  # fail-stop: the thread just dies
                     dur = injector.stall_due(k, completed)
                     if dur is not None:
-                        telemetry.bump("injected_stalls")
+                        shard.bump("injected_stalls")
+                        if tracer is not None:
+                            tracer.record_here("fault", a=float(dur), tag="stall")
                         _time.sleep(
                             min(float(dur), max(0.0, deadline - _time.perf_counter()))
                         )
+                if tracer is not None:
+                    tracer.record_here("correct_begin", a=float(crit.counts[k]) + 1.0)
                 e = solver.correction(k, r_local)
                 if injector is not None:
-                    e = injector.corrupt(e, telemetry)
+                    e = injector.corrupt(e, shard)
                 if grd is not None:
-                    screened = grd.screen(e)
+                    screened = grd.screen(e, telemetry=shard)
                     e = np.zeros(n) if screened is None else screened
                 xpol.add(x, e)
                 if rescomp == "rupdate":
@@ -220,6 +258,15 @@ def run_threaded(
                 heartbeats[k] = _time.perf_counter()
                 # Divergence guard on the *local* view — no extra sync.
                 m = float(np.abs(r_local).max()) if n else 0.0
+                if tracer is not None:
+                    tracer.record_here(
+                        "correct_end",
+                        a=float(crit.counts[k]),
+                        b=traced_x.last_staleness() if traced_x is not None else -1.0,
+                    )
+                    tracer.record_here(
+                        "residual", a=float(two_norm(r_local) / nb), tag="local"
+                    )
                 if not np.isfinite(m) or m > divergence_threshold * max(nb, 1.0):
                     stop_event.set()
         except _WORKER_ERRORS:
@@ -242,6 +289,10 @@ def run_threaded(
             now = _time.perf_counter() - t_start
             rel_s = two_norm(b - A @ x) / nb  # racy read: sampling only
             samples.append((now, float(rel_s)))
+            if tracer is not None:
+                tracer.record(
+                    "residual", -1, now, float(rel_s), 0.0, "global", worker="monitor"
+                )
             monitor_stop.wait(monitor_interval)
 
     mon = None
@@ -284,13 +335,19 @@ def run_threaded(
                 ):
                     hung_flagged[k] = True
                     telemetry.bump("watchdog_detections")
+                    if tracer is not None:
+                        tracer.record("guard", k, now - t0, tag="watchdog", worker="supervisor")
                 continue
             if crit.grid_done(k) or dead[k]:
                 continue
             # Worker exited early (fail-stop): restart while the
             # budget lasts, re-synced from the shared state.
             telemetry.bump("watchdog_detections")
+            if tracer is not None:
+                tracer.record("guard", k, now - t0, tag="watchdog", worker="supervisor")
             if grd is not None and grd.try_restart():
+                if tracer is not None:
+                    tracer.record("guard", k, now - t0, tag="restart", worker="supervisor")
                 if guard.restart_delay:
                     _time.sleep(guard.restart_delay)
                 threads[k] = threading.Thread(
@@ -312,6 +369,10 @@ def run_threaded(
             x_snap = xpol.read(x)
             rel_now = float(two_norm(b - A @ x_snap) / nb)
             action, x_restore = grd.checkpoint_or_rollback(x_snap, rel_now)
+            if tracer is not None and action != "none":
+                tracer.record(
+                    "guard", -1, _time.perf_counter() - t0, tag=action, worker="supervisor"
+                )
             if action == "rollback":
                 xpol.assign_slice(x, 0, n, x_restore)
                 rpol.assign_slice(r, 0, n, b - A @ x_restore)
@@ -329,6 +390,8 @@ def run_threaded(
     if mon is not None:
         monitor_stop.set()
         mon.join(timeout=5.0)
+    for shard in shards:  # single merge path for worker telemetry
+        telemetry.merge(shard)
 
     rel = two_norm(b - A @ x) / nb
     diverged = (
@@ -353,4 +416,5 @@ def run_threaded(
         residual_samples=samples,
         stalled=bool(stalled),
         telemetry=telemetry,
+        trace_summary=tracer.summary() if tracer is not None else None,
     )

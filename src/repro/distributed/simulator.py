@@ -48,7 +48,7 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import TYPE_CHECKING, List, Optional, Tuple
 
 import numpy as np
 
@@ -57,6 +57,9 @@ from ..linalg import two_norm
 from ..partition import partition_threads
 from ..resilience import FaultInjector, FaultPlan, FaultTelemetry, Guard, GuardPolicy
 from .network import NetworkModel
+
+if TYPE_CHECKING:  # runtime import would cycle through repro.observe
+    from ..observe.tracer import Tracer, TraceSummary
 
 __all__ = ["DistributedResult", "simulate_distributed"]
 
@@ -90,6 +93,9 @@ class DistributedResult:
     activity_trace: List[tuple] = field(default_factory=list)
     """``(grid, t_start, t_end)`` busy intervals — feed to
     :func:`repro.utils.ascii_timeline` to *see* the schedule."""
+    trace_summary: Optional["TraceSummary"] = None
+    """Compact digest of the recorded trace when the run was handed a
+    :class:`~repro.observe.Tracer` (None otherwise)."""
 
     @property
     def corrects(self) -> float:
@@ -111,6 +117,7 @@ def simulate_distributed(
     divergence_threshold: float = 1e6,
     faults: Optional[FaultPlan] = None,
     guard: Optional[GuardPolicy] = None,
+    tracer: Optional["Tracer"] = None,
 ) -> DistributedResult:
     """Simulate distributed asynchronous additive multigrid.
 
@@ -140,6 +147,13 @@ def simulate_distributed(
         correction screening, checkpoint/rollback of the true iterate,
         crash detection + restart (replica re-sync), retransmission
         with backoff, and duplicate suppression.
+    tracer:
+        Optional :class:`~repro.observe.Tracer` (use ``clock="sim"``).
+        Event times are simulated seconds; message sends, deliveries
+        and drops are recorded as ``msg`` events alongside the usual
+        correction / staleness / guard / fault vocabulary, and the
+        digest lands on ``result.trace_summary``.  Like the engine, a
+        fixed seed reproduces the event stream exactly.
     """
     if strategy not in _STRATEGIES:
         raise ValueError(f"strategy must be one of {_STRATEGIES}")
@@ -199,6 +213,12 @@ def simulate_distributed(
     activity: List[tuple] = []
     # Sequence-number dedup (guard): message ids each process applied.
     seen: List[set] = [set() for _ in range(ngrids)]
+    # Tracing state: commit epochs count "done" events on the true
+    # iterate; a process's staleness is the epochs committed between
+    # its replica read (start_compute) and its own commit.
+    commit_epoch = 0
+    last_read_epoch = [-1] * ngrids
+    read_tag = "r" if strategy == "global" else "x"
 
     def transmit(src: int, dst: int, vec: np.ndarray, t: float, mid: int, attempt: int) -> None:
         """One transmission attempt; drops trigger retransmission when
@@ -207,6 +227,8 @@ def simulate_distributed(
         lost = net.dropped() or (injector is not None and injector.message_dropped())
         if lost:
             dropped += 1
+            if tracer is not None:
+                tracer.record("msg", dst, t, float(mid), float(src), "drop")
             if (
                 grd is not None
                 and guard.retransmit
@@ -230,6 +252,8 @@ def simulate_distributed(
         arr = t + lat
         heapq.heappush(heap, (arr, next(seq), "msg", dst, (src, mid, vec)))
         messages += 1
+        if tracer is not None:
+            tracer.record("msg", src, t, float(mid), float(dst), "send")
         if injector is not None and injector.message_duplicated():
             heapq.heappush(
                 heap, (arr + net.link_latency(src, dst), next(seq), "msg", dst, (src, mid, vec))
@@ -241,6 +265,10 @@ def simulate_distributed(
             r_in = replicas[k].copy()
         else:
             r_in = b - A @ replicas[k]
+        last_read_epoch[k] = commit_epoch
+        if tracer is not None:
+            tracer.record("read", k, t, float(commit_epoch), 0.0, read_tag)
+            tracer.record("correct_begin", k, t, float(counts[k]) + 1.0)
         e = solver.correction(k, r_in)
         dur, flops = correction_duration(k)
         if injector is not None:
@@ -248,6 +276,8 @@ def simulate_distributed(
             if stall is not None:
                 dur += float(stall)
                 telemetry.bump("injected_stalls")
+                if tracer is not None:
+                    tracer.record("fault", k, t, float(stall), tag="stall")
         heapq.heappush(heap, (t + dur, next(seq), "done", k, e))
         activity.append((k, t, t + dur))
         nonlocal flops_total
@@ -293,8 +323,23 @@ def simulate_distributed(
             # iterate is only touched here, between events.
             x_true += e  # repro: noqa[RPR001] event-loop is the serialization point
             counts[proc] += 1
+            commit_epoch += 1
+            rel_now: Optional[float] = None
             if track_trace:
-                trace.append((t, two_norm(b - A @ x_true) / nb))
+                rel_now = float(two_norm(b - A @ x_true) / nb)
+                trace.append((t, rel_now))
+            if tracer is not None:
+                stal = (
+                    float(commit_epoch - 1 - last_read_epoch[proc])
+                    if last_read_epoch[proc] >= 0
+                    else -1.0
+                )
+                tracer.record("correct_end", proc, t, float(counts[proc]), stal)
+                tracer.record("write", proc, t, 0.0, stal, read_tag)
+                # Residual snapshots ride on track_trace norms so that
+                # tracing alone never adds an SpMV per commit.
+                if rel_now is not None:
+                    tracer.record("residual", proc, t, rel_now, 0.0, "global")
             if strategy == "global":
                 dr = -(A @ e)
                 replicas[proc] += dr
@@ -311,8 +356,13 @@ def simulate_distributed(
             unhealthy = not np.isfinite(m) or m > divergence_threshold * max(nb, 1.0)
             # --- guard: periodic checkpoint / spike rollback ---------
             if ckpt_every and int(counts.sum()) % ckpt_every == 0:
-                rel_now = float(two_norm(b - A @ x_true) / nb)
+                if rel_now is None:
+                    rel_now = float(two_norm(b - A @ x_true) / nb)
+                    if tracer is not None:
+                        tracer.record("residual", proc, t, rel_now, 0.0, "global")
                 action, x_restore = grd.checkpoint_or_rollback(x_true, rel_now)
+                if tracer is not None and action != "none":
+                    tracer.record("guard", proc, t, tag=action)
                 if action == "rollback":
                     x_true = x_restore
                     for j in range(ngrids):
@@ -324,6 +374,8 @@ def simulate_distributed(
                 if grd is not None:
                     action, x_restore = grd.checkpoint_or_rollback(x_true, np.inf)
                     if action == "rollback":
+                        if tracer is not None:
+                            tracer.record("guard", proc, t, tag="rollback")
                         x_true = x_restore
                         for j in range(ngrids):
                             if not crashed[j]:
@@ -336,12 +388,18 @@ def simulate_distributed(
             if injector is not None and injector.crash_due(proc, int(counts[proc])):
                 crashed[proc] = True
                 telemetry.bump("injected_crashes")
+                if tracer is not None:
+                    tracer.record("fault", proc, t, tag="crash")
                 if grd is not None and guard.watchdog and grd.try_restart():
                     # The heartbeat watchdog notices the silence after
                     # watchdog_timeout; the replacement comes up
                     # restart_delay later.
                     telemetry.bump("watchdog_detections")
                     t_up = t + guard.watchdog_timeout + guard.restart_delay
+                    if tracer is not None:
+                        tracer.record(
+                            "guard", proc, t + guard.watchdog_timeout, tag="watchdog"
+                        )
                     heapq.heappush(heap, (t_up, next(seq), "restart", proc, None))
                 continue
             keep_going = (
@@ -351,6 +409,8 @@ def simulate_distributed(
                 start_compute(proc, t)
         elif kind == "restart":
             crashed[proc] = False
+            if tracer is not None:
+                tracer.record("guard", proc, t, tag="restart")
             # Replica re-sync: one state transfer from a peer.
             peer = (proc + 1) % ngrids
             t_sync = t + net.transfer_time(peer, proc, msg_bytes)
@@ -371,8 +431,12 @@ def simulate_distributed(
             if grd is not None and guard.dedup_messages:
                 if mid in seen[proc]:
                     telemetry.bump("duplicates_discarded")
+                    if tracer is not None:
+                        tracer.record("msg", proc, t, float(mid), float(src), "dup")
                     continue
                 seen[proc].add(mid)
+            if tracer is not None:
+                tracer.record("msg", proc, t, float(mid), float(src), "recv")
             replicas[proc] += vec
 
     rel = two_norm(b - A @ x_true) / nb
@@ -394,4 +458,5 @@ def simulate_distributed(
         flops_total=flops_total,
         residual_trace=trace,
         activity_trace=activity,
+        trace_summary=tracer.summary() if tracer is not None else None,
     )

@@ -1,0 +1,63 @@
+"""Unified tracing & metrics for the asynchronous backends.
+
+The paper's whole experimental section is built on *observing*
+asynchronous runs — residual histories against wall-clock, per-grid
+update counts under the random update sets Ψ(t), read staleness
+``z_k(t)`` — and this package is that measurement layer, shared by
+the sequential engine, the threaded executor and the distributed
+simulator:
+
+- :mod:`repro.observe.tracer`    — :class:`Tracer` (per-worker
+  append-only ring buffers, merged at run end), :class:`TracedPolicy`
+  (write-policy instrumentation for the threaded executor) and the
+  compact :class:`TraceSummary` attached to result objects.
+- :mod:`repro.observe.events`    — the typed event vocabulary.
+- :mod:`repro.observe.metrics`   — :class:`Metrics`: counters, gauges
+  and fixed-bucket histograms with a single merge path for
+  per-worker shards.
+- :mod:`repro.observe.exporters` — JSONL, Chrome trace-event
+  (Perfetto-viewable) and residual-vs-time series writers.
+- :mod:`repro.observe.analyze`   — :class:`TraceAnalyzer`: recovers
+  the Section-III model quantities (empirical |Ψ(t)|, max observed
+  delay vs δ, monotone reads, update fairness) from a recorded run
+  and can feed the existing ``ModelConformanceReport``.
+
+CLI: ``repro trace run | report | export`` and ``repro solve
+--trace out.jsonl``.
+"""
+
+from .analyze import TraceAnalyzer
+from .events import Event
+from .exporters import (
+    read_events_jsonl,
+    read_residual_series,
+    residual_series,
+    series_from_result,
+    to_chrome_trace,
+    write_chrome_trace,
+    write_events_jsonl,
+    write_residual_series,
+)
+from .metrics import Counter, Gauge, Histogram, Metrics
+from .tracer import TraceBuffer, TracedPolicy, Tracer, TraceSummary
+
+__all__ = [
+    "Event",
+    "TraceBuffer",
+    "Tracer",
+    "TracedPolicy",
+    "TraceSummary",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Metrics",
+    "TraceAnalyzer",
+    "read_events_jsonl",
+    "read_residual_series",
+    "residual_series",
+    "series_from_result",
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "write_events_jsonl",
+    "write_residual_series",
+]

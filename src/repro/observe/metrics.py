@@ -1,0 +1,206 @@
+"""The metrics registry: counters, gauges, fixed-bucket histograms.
+
+Design constraints (the same ones a serving stack's metrics layer
+lives under):
+
+- **No locking on the hot path.**  A :class:`Counter` increment is a
+  plain attribute add; cross-thread aggregation happens through a
+  *single merge path* — each worker owns a shard (its own ``Metrics``
+  or :class:`~repro.resilience.FaultTelemetry` instance) and the run
+  folds the shards together once, at the end, via :meth:`Metrics.merge`.
+- **Fixed buckets.**  :class:`Histogram` uses pre-declared bucket
+  bounds (staleness in commit epochs, lock-wait in seconds), so
+  ``observe`` is one bisect and merging two histograms is elementwise
+  addition — no quantile sketches to reconcile.
+- **Providers.**  External counter owners (e.g. ``FaultTelemetry``)
+  register a zero-argument callable; :meth:`Metrics.collect` pulls
+  their current values so one ``collect()`` snapshot covers the whole
+  run without the owners changing their own APIs.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Metrics",
+    "STALENESS_BUCKETS",
+    "LOCK_WAIT_BUCKETS_S",
+]
+
+#: staleness histogram bounds, in commit epochs (paper's delay δ units)
+STALENESS_BUCKETS: Tuple[float, ...] = (0, 1, 2, 4, 8, 16, 32, 64, 128)
+#: lock-wait histogram bounds, in seconds
+LOCK_WAIT_BUCKETS_S: Tuple[float, ...] = (
+    1e-6,
+    1e-5,
+    1e-4,
+    1e-3,
+    1e-2,
+    1e-1,
+)
+
+
+class Counter:
+    """Monotonically increasing count.  Single-writer by convention:
+    give each worker its own shard and merge at run end."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, by: float = 1.0) -> None:
+        if by < 0:
+            raise ValueError("counters only go up")
+        self.value += by
+
+
+class Gauge:
+    """Last-write-wins instantaneous value."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: Optional[float] = None
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class Histogram:
+    """Fixed-bucket histogram: ``counts[i]`` tallies observations
+    ``<= bounds[i]``, with one overflow bucket at the end."""
+
+    __slots__ = ("name", "bounds", "counts", "total", "count")
+
+    def __init__(self, name: str, bounds: Sequence[float]) -> None:
+        b = tuple(float(v) for v in bounds)
+        if list(b) != sorted(b) or len(set(b)) != len(b):
+            raise ValueError("histogram bounds must be strictly increasing")
+        if not b:
+            raise ValueError("histogram needs at least one bound")
+        self.name = name
+        self.bounds = b
+        self.counts = [0] * (len(b) + 1)
+        self.total = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_right(self.bounds, value - 1e-12)] += 1
+        self.total += value
+        self.count += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "bounds": list(self.bounds),
+            "counts": list(self.counts),
+            "sum": self.total,
+            "count": self.count,
+        }
+
+
+class Metrics:
+    """A named registry of counters, gauges and histograms.
+
+    ``counter``/``gauge``/``histogram`` are get-or-create, so
+    instrumentation sites never coordinate on declaration order.
+    """
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        self._providers: Dict[str, Callable[[], Dict[str, float]]] = {}
+
+    # -- registration --------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        c = self._counters.get(name)
+        if c is None:
+            c = self._counters[name] = Counter(name)
+        return c
+
+    def gauge(self, name: str) -> Gauge:
+        g = self._gauges.get(name)
+        if g is None:
+            g = self._gauges[name] = Gauge(name)
+        return g
+
+    def histogram(
+        self, name: str, bounds: Optional[Sequence[float]] = None
+    ) -> Histogram:
+        h = self._histograms.get(name)
+        if h is None:
+            h = self._histograms[name] = Histogram(
+                name, bounds if bounds is not None else STALENESS_BUCKETS
+            )
+        elif bounds is not None and tuple(float(v) for v in bounds) != h.bounds:
+            raise ValueError(f"histogram {name!r} re-registered with different bounds")
+        return h
+
+    def register_provider(
+        self, name: str, provider: Callable[[], Dict[str, float]]
+    ) -> None:
+        """Register an external counter owner; ``collect()`` pulls its
+        ``{counter: value}`` dict under ``providers[name]``."""
+        self._providers[name] = provider
+
+    # -- aggregation ---------------------------------------------------
+    def merge(self, other: "Metrics") -> "Metrics":
+        """Fold ``other``'s primitives into self (the single merge
+        path for per-worker shards); returns self."""
+        for name, c in other._counters.items():
+            self.counter(name).value += c.value
+        for name, g in other._gauges.items():
+            if g.value is not None:
+                self.gauge(name).value = g.value
+        for name, h in other._histograms.items():
+            mine = self.histogram(name, h.bounds)
+            for i, v in enumerate(h.counts):
+                mine.counts[i] += v
+            mine.total += h.total
+            mine.count += h.count
+        return self
+
+    def collect(self) -> Dict[str, object]:
+        """One snapshot of everything registered, providers included."""
+        return {
+            "counters": {n: c.value for n, c in sorted(self._counters.items())},
+            "gauges": {
+                n: g.value
+                for n, g in sorted(self._gauges.items())
+                if g.value is not None
+            },
+            "histograms": {
+                n: h.to_dict() for n, h in sorted(self._histograms.items())
+            },
+            "providers": {n: dict(p()) for n, p in sorted(self._providers.items())},
+        }
+
+    def format(self) -> str:
+        """Human-readable multi-line dump of the current snapshot."""
+        snap = self.collect()
+        lines: List[str] = []
+        for name, value in snap["counters"].items():  # type: ignore[union-attr]
+            lines.append(f"{name} = {value:g}")
+        for name, value in snap["gauges"].items():  # type: ignore[union-attr]
+            lines.append(f"{name} = {value:g}")
+        for name, h in snap["histograms"].items():  # type: ignore[union-attr]
+            lines.append(
+                f"{name}: n={h['count']} mean={h['sum'] / h['count'] if h['count'] else 0.0:.3g} "
+                f"buckets<= {h['bounds']} -> {h['counts']}"
+            )
+        for pname, counters in snap["providers"].items():  # type: ignore[union-attr]
+            for name, value in sorted(counters.items()):
+                lines.append(f"{pname}.{name} = {value:g}")
+        return "\n".join(lines) if lines else "(no metrics)"

@@ -1,0 +1,397 @@
+"""Low-overhead structured tracer shared by all three async backends.
+
+The hot-path contract: a worker (grid thread, engine coroutine slot,
+or simulated process) appends 6-tuples to its **own**
+:class:`TraceBuffer` — an append-only ring with no cross-thread
+locking anywhere on the record path.  Buffers are merged into one
+time-ordered event stream only at run end (:meth:`Tracer.events`),
+the same merge-late discipline the executors already use for fault
+telemetry.
+
+Clocks: the tracer does not impose one.  The threaded executor
+records wall seconds from run start (``clock="s"``), the sequential
+engine records scheduler micro-steps (``clock="steps"`` — integral,
+so a seeded run's event stream is bit-identical across repeats), and
+the distributed simulator records simulated seconds (``clock="sim"``).
+
+:class:`TracedPolicy` is the threaded executor's instrumentation
+hook: it wraps a :class:`~repro.core.writes.WritePolicy` (the same
+decoration point :class:`repro.analysis.racecheck.CheckedWrite` uses)
+and emits ``read``/``write`` events carrying commit epochs, effective
+read staleness, and per-stripe lock-wait durations.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time as _time
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple, Union
+
+import numpy as np
+
+from ..core.writes import AtomicWrite, LockWrite, WritePolicy
+from .events import CORRECT_END, READ, RESIDUAL, WRITE, Event
+from .metrics import LOCK_WAIT_BUCKETS_S, STALENESS_BUCKETS, Metrics
+
+__all__ = ["TraceBuffer", "Tracer", "TraceSummary", "TracedPolicy"]
+
+WorkerKey = Union[int, str]
+
+
+class TraceBuffer:
+    """Append-only ring buffer owned by exactly one worker.
+
+    Records are raw ``(t, kind, grid, a, b, tag)`` tuples.  When the
+    ring is full the oldest record is overwritten and ``dropped`` is
+    bumped — a traced run degrades to a suffix window, never to a
+    stall or an allocation storm.
+    """
+
+    __slots__ = ("worker", "capacity", "records", "dropped", "_head")
+
+    def __init__(self, worker: WorkerKey, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.worker = worker
+        self.capacity = int(capacity)
+        self.records: List[tuple] = []
+        self.dropped = 0
+        self._head = 0
+
+    def record(
+        self,
+        t: float,
+        kind: str,
+        grid: int,
+        a: float = 0.0,
+        b: float = 0.0,
+        tag: str = "",
+    ) -> None:
+        rec = (t, kind, grid, a, b, tag)
+        if len(self.records) < self.capacity:
+            self.records.append(rec)
+        else:
+            self.records[self._head] = rec
+            self._head = (self._head + 1) % self.capacity
+            self.dropped += 1
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def in_order(self) -> Iterator[tuple]:
+        """Records oldest-first (unwinds the ring head)."""
+        yield from self.records[self._head :]
+        yield from self.records[: self._head]
+
+
+@dataclass
+class TraceSummary:
+    """Compact digest of a traced run, attached to result objects.
+
+    ``staleness`` statistics are in commit epochs (the paper's read
+    delay δ units); ``lock_wait_*`` in seconds (zero for backends
+    without real locks).
+    """
+
+    clock: str = "s"
+    events: int = 0
+    dropped: int = 0
+    workers: int = 0
+    corrections: int = 0
+    reads: int = 0
+    writes: int = 0
+    span: float = 0.0
+    max_staleness: float = 0.0
+    mean_staleness: float = 0.0
+    lock_wait_total: float = 0.0
+    lock_wait_max: float = 0.0
+    residual_first: float = float("nan")
+    residual_last: float = float("nan")
+    per_grid_counts: Dict[int, int] = field(default_factory=dict)
+
+    def oneline(self) -> str:
+        return (
+            f"trace: {self.events} events ({self.dropped} dropped) from "
+            f"{self.workers} worker(s), {self.corrections} corrections over "
+            f"{self.span:g} {self.clock}; staleness max/mean = "
+            f"{self.max_staleness:g}/{self.mean_staleness:.2f}; "
+            f"lock-wait total/max = {self.lock_wait_total:.3g}/"
+            f"{self.lock_wait_max:.3g} s"
+        )
+
+
+class Tracer:
+    """Per-worker ring buffers plus the run-end merge and aggregation.
+
+    Thread-safety: buffer creation and the thread registry use plain
+    dict operations (atomic under the GIL); every *record* goes to a
+    buffer only its owner writes.  The merge/aggregate methods are
+    run-end, single-caller operations.
+    """
+
+    def __init__(self, capacity: int = 1 << 16, clock: str = "s") -> None:
+        self.capacity = int(capacity)
+        self.clock = clock
+        self.metrics = Metrics()
+        self._buffers: Dict[WorkerKey, TraceBuffer] = {}
+        self._thread_worker: Dict[int, Tuple[WorkerKey, int]] = {}
+        self._t0 = _time.perf_counter()
+
+    # -- clock ---------------------------------------------------------
+    def now(self) -> float:
+        """Wall seconds since tracer construction (``clock="s"``)."""
+        return _time.perf_counter() - self._t0
+
+    def restart_clock(self) -> None:
+        """Re-zero the wall clock (executors call this at run start so
+        event times align with the run's own t0)."""
+        self._t0 = _time.perf_counter()
+
+    # -- worker registry -----------------------------------------------
+    def buffer(self, worker: WorkerKey) -> TraceBuffer:
+        buf = self._buffers.get(worker)
+        if buf is None:
+            buf = self._buffers.setdefault(worker, TraceBuffer(worker, self.capacity))
+        return buf
+
+    def register_worker(self, grid: int, worker: Optional[WorkerKey] = None) -> None:
+        """Bind the calling thread to ``grid`` so :meth:`record_here`
+        (and :class:`TracedPolicy`, which has no grid context) can file
+        events under the right worker buffer."""
+        key: WorkerKey = grid if worker is None else worker
+        self._thread_worker[threading.get_ident()] = (key, grid)
+        self.buffer(key)
+
+    def _current(self) -> Tuple[WorkerKey, int]:
+        ent = self._thread_worker.get(threading.get_ident())
+        if ent is None:
+            # Unregistered thread (supervisor/monitor): file under a
+            # thread-keyed buffer with no grid attribution.
+            key = f"thread-{threading.get_ident()}"
+            return key, -1
+        return ent
+
+    # -- recording -----------------------------------------------------
+    def record(
+        self,
+        kind: str,
+        grid: int,
+        t: float,
+        a: float = 0.0,
+        b: float = 0.0,
+        tag: str = "",
+        worker: Optional[WorkerKey] = None,
+    ) -> None:
+        """Record with an explicit timestamp and worker key (the
+        engine and the distributed simulator's form)."""
+        self.buffer(grid if worker is None else worker).record(t, kind, grid, a, b, tag)
+
+    def record_here(
+        self,
+        kind: str,
+        a: float = 0.0,
+        b: float = 0.0,
+        tag: str = "",
+        t: Optional[float] = None,
+        grid: Optional[int] = None,
+    ) -> None:
+        """Record from the calling thread's registered worker context
+        at the current wall clock (the threaded executor's form)."""
+        key, bound_grid = self._current()
+        self.buffer(key).record(
+            self.now() if t is None else t,
+            kind,
+            bound_grid if grid is None else grid,
+            a,
+            b,
+            tag,
+        )
+
+    # -- run-end merge / aggregation ------------------------------------
+    @property
+    def dropped_events(self) -> int:
+        return sum(buf.dropped for buf in self._buffers.values())
+
+    def events(self) -> List[Event]:
+        """Merge every worker buffer into one time-ordered stream."""
+        merged: List[Event] = []
+        for key in sorted(self._buffers, key=str):
+            buf = self._buffers[key]
+            for seq, (t, kind, grid, a, b, tag) in enumerate(buf.in_order()):
+                merged.append(
+                    Event(
+                        t=t, kind=kind, grid=grid, a=a, b=b, tag=tag,
+                        worker=key, seq=seq,
+                    )
+                )
+        merged.sort(key=lambda e: e.sort_key)
+        return merged
+
+    def aggregate(self) -> Metrics:
+        """Fold the recorded events into the tracer's metrics registry
+        (staleness distribution, per-grid update fairness, lock
+        contention).  Run-end only — never on the hot path."""
+        m = self.metrics
+        stal = m.histogram("staleness_epochs", STALENESS_BUCKETS)
+        wait = m.histogram("lock_wait_s", LOCK_WAIT_BUCKETS_S)
+        for ev in self.events():
+            if ev.kind == CORRECT_END:
+                m.counter(f"corrections.grid{ev.grid}").inc()
+                if ev.b >= 0:
+                    stal.observe(ev.b)
+            elif ev.kind == WRITE:
+                m.counter(f"writes.{ev.tag or 'x'}").inc()
+                wait.observe(ev.a)
+            elif ev.kind == READ:
+                m.counter(f"reads.{ev.tag or 'x'}").inc()
+            elif ev.kind == RESIDUAL:
+                m.gauge("rel_residual").set(ev.a)
+        m.counter("events.dropped").value = float(self.dropped_events)
+        return m
+
+    def summary(self) -> TraceSummary:
+        """Compact digest for attaching to a result object."""
+        events = self.events()
+        per_grid: Dict[int, int] = {}
+        stal: List[float] = []
+        waits: List[float] = []
+        reads = writes = 0
+        res_first = res_last = float("nan")
+        for ev in events:
+            if ev.kind == CORRECT_END:
+                per_grid[ev.grid] = per_grid.get(ev.grid, 0) + 1
+                if ev.b >= 0:
+                    stal.append(ev.b)
+            elif ev.kind == WRITE:
+                writes += 1
+                waits.append(ev.a)
+            elif ev.kind == READ:
+                reads += 1
+            elif ev.kind == RESIDUAL:
+                if np.isnan(res_first):
+                    res_first = ev.a
+                res_last = ev.a
+        span = events[-1].t - events[0].t if len(events) > 1 else 0.0
+        return TraceSummary(
+            clock=self.clock,
+            events=len(events),
+            dropped=self.dropped_events,
+            workers=len(self._buffers),
+            corrections=sum(per_grid.values()),
+            reads=reads,
+            writes=writes,
+            span=float(span),
+            max_staleness=max(stal) if stal else 0.0,
+            mean_staleness=float(np.mean(stal)) if stal else 0.0,
+            lock_wait_total=float(sum(waits)),
+            lock_wait_max=max(waits) if waits else 0.0,
+            residual_first=res_first,
+            residual_last=res_last,
+            per_grid_counts=per_grid,
+        )
+
+
+class TracedPolicy(WritePolicy):
+    """Wrap a :class:`WritePolicy` with trace emission.
+
+    Measures the pure lock-*wait* portion of each commit (time spent
+    blocked on acquire, summed over stripes — the paper's lock-write
+    contention cost), maintains a global commit epoch, and emits
+    ``read``/``write`` events through the tracer's per-thread buffers.
+    The data movement itself is byte-for-byte the wrapped policy's:
+    one stripe sweep for :class:`AtomicWrite`, whole-vector critical
+    sections for :class:`LockWrite`, nothing for unlocked policies.
+    """
+
+    def __init__(self, inner: WritePolicy, tracer: Tracer, tag: str) -> None:
+        super().__init__(inner.n)
+        self.inner = inner
+        self.tracer = tracer
+        self.tag = tag
+        self.name = f"traced[{inner.name}]"
+        # Recognized raw policies are re-implemented byte-for-byte with
+        # acquire timing added; anything else (UnsafeWrite, CheckedWrite,
+        # other wrappers) keeps its own commit path via delegation.
+        self._delegate = False
+        if isinstance(inner, AtomicWrite):
+            self._locks: List[Optional[threading.Lock]] = list(inner._locks)
+            self._stripes = list(inner._ranges())
+        elif isinstance(inner, LockWrite):
+            self._locks = [inner._lock]
+            self._stripes = [(0, 0, inner.n)]
+        else:
+            self._locks = [None]
+            self._stripes = [(0, 0, inner.n)]
+            self._delegate = True
+        # Commit epoch: itertools.count gives a GIL-atomic increment;
+        # `epoch` holds the latest issued value for racy-but-monotone
+        # sampling by readers.
+        self._epoch_counter = itertools.count(1)
+        self.epoch = 0
+        self._last_read_epoch: Dict[int, int] = {}
+        self._last_commit_staleness: Dict[int, float] = {}
+
+    def _swept(
+        self, target: np.ndarray, other: np.ndarray, assign: bool, lo: int = 0
+    ) -> float:
+        """One stripe sweep with lock-wait timing; returns seconds
+        spent blocked on acquires."""
+        wait = 0.0
+        for s, a, b in self._stripes:
+            if b <= lo or (assign and a >= lo + other.shape[0]):
+                continue
+            lock = self._locks[s]
+            if lock is not None:
+                t0 = _time.perf_counter()
+                lock.acquire()
+                wait += _time.perf_counter() - t0
+            try:
+                if assign:
+                    aa, bb = max(a, lo), min(b, lo + other.shape[0])
+                    if bb > aa:
+                        target[aa:bb] = other[aa - lo : bb - lo]
+                else:
+                    target[a:b] += other[a:b]
+            finally:
+                if lock is not None:
+                    lock.release()
+        return wait
+
+    def add(self, target: np.ndarray, update: np.ndarray) -> None:
+        if self._delegate:
+            wait = 0.0
+            self.inner.add(target, update)
+        else:
+            wait = self._swept(target, update, assign=False)
+        ep = next(self._epoch_counter)
+        self.epoch = ep
+        ident = threading.get_ident()
+        z = self._last_read_epoch.get(ident)
+        staleness = float(ep - 1 - z) if z is not None else -1.0
+        self._last_commit_staleness[ident] = staleness
+        self.tracer.record_here(WRITE, a=wait, b=staleness, tag=self.tag)
+
+    def assign_slice(
+        self, target: np.ndarray, lo: int, hi: int, values: np.ndarray
+    ) -> None:
+        if self._delegate:
+            wait = 0.0
+            self.inner.assign_slice(target, lo, hi, values)
+        else:
+            wait = self._swept(target, values, assign=True, lo=lo)
+        self.tracer.record_here(WRITE, a=wait, b=-1.0, tag=f"{self.tag}:assign")
+
+    def read(self, source: np.ndarray) -> np.ndarray:
+        out = self.inner.read(source)
+        ep = self.epoch
+        self._last_read_epoch[threading.get_ident()] = ep
+        self.tracer.record_here(READ, a=float(ep), tag=self.tag)
+        return out
+
+    def last_staleness(self) -> float:
+        """Staleness of the calling thread's most recent commit, as
+        captured *at* that commit (−1 before its first read) — workers
+        stamp this onto their ``correct_end`` events."""
+        return self._last_commit_staleness.get(threading.get_ident(), -1.0)

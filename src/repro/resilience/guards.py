@@ -110,9 +110,10 @@ class Guard:
     ``ref_norm`` anchors the magnitude screen (executors pass
     ``||b||``); all detections/recoveries are tallied into
     ``telemetry``.  Thread-safety: :meth:`screen` only reads policy
-    fields and bumps (locked) telemetry counters, so worker threads may
-    call it concurrently; checkpoint/rollback and restart bookkeeping
-    are supervisor/scheduler-only.
+    fields, so worker threads may call it concurrently — each passing
+    its *own* single-writer telemetry shard (merged at run end) so no
+    bump contends; checkpoint/rollback and restart bookkeeping are
+    supervisor/scheduler-only and tally into the guard's telemetry.
     """
 
     def __init__(
@@ -130,21 +131,26 @@ class Guard:
         self.restarts_used = 0
 
     # -- correction screening -----------------------------------------
-    def screen(self, e: np.ndarray) -> Optional[np.ndarray]:
+    def screen(
+        self, e: np.ndarray, telemetry: Optional[FaultTelemetry] = None
+    ) -> Optional[np.ndarray]:
         """Vet one correction; returns the (possibly clamped) vector to
-        apply, or None when it must be discarded."""
+        apply, or None when it must be discarded.  Concurrent callers
+        pass their own ``telemetry`` shard; None tallies into the
+        guard's own (scheduler/supervisor use)."""
+        tel = self.telemetry if telemetry is None else telemetry
         pol = self.policy
         if pol.reject_nonfinite and not np.all(np.isfinite(e)):
-            self.telemetry.bump("corrections_rejected")
+            tel.bump("corrections_rejected")
             return None
         if e.size:
             mag = float(np.abs(e).max())
             bound = pol.magnitude_bound * self.ref_norm
             if mag > bound:
                 if pol.on_magnitude == "clamp":
-                    self.telemetry.bump("corrections_clamped")
+                    tel.bump("corrections_clamped")
                     return e * (bound / mag)
-                self.telemetry.bump("corrections_rejected")
+                tel.bump("corrections_rejected")
                 return None
         return e
 

@@ -6,16 +6,22 @@ its run and attaches it to its result object, so a benchmark can put
 injected crashes/stalls/corruptions on one side, detections,
 rejections, rollbacks, restarts and retransmissions on the other.
 
-The counters are plain ints guarded by one lock — the threaded executor
-increments them from worker threads; the sequential engine and the
-discrete-event simulator pay one uncontended lock acquire per event,
-which is noise next to a correction's SpMV.
+The counters are plain ints with **single-writer** semantics: each
+instance is only ever bumped from one thread (the engine/simulator
+scheduler, a supervisor, or one worker's private shard), so increments
+need no lock.  The threaded executor gives every worker its own shard
+and folds them into the run's main telemetry through :meth:`merge` once
+at run end — one merge path instead of one lock acquire per bump on the
+hot path (the same per-worker-buffer discipline as
+:class:`repro.observe.Tracer`).  Cross-backend aggregation goes through
+:meth:`register_into`, which exposes the counters to a
+:class:`repro.observe.Metrics` registry as a provider.
 """
 
 from __future__ import annotations
 
-import threading
-from dataclasses import dataclass, field, fields
+from dataclasses import dataclass, fields
+from typing import Any
 
 __all__ = ["FaultTelemetry"]
 
@@ -68,25 +74,18 @@ class FaultTelemetry:
     messages_lost: int = 0
     duplicates_discarded: int = 0
 
-    _lock: threading.Lock = field(
-        default_factory=threading.Lock, repr=False, compare=False
-    )
-
     def bump(self, counter: str, by: int = 1) -> None:
-        """Thread-safely increment one counter by ``by``."""
+        """Increment one counter by ``by`` (single-writer: only the
+        owning thread may bump an instance — give each worker its own
+        shard and :meth:`merge` them at run end)."""
         if by < 0:
             raise ValueError("telemetry increments must be non-negative")
-        with self._lock:
-            setattr(self, counter, getattr(self, counter) + by)
+        setattr(self, counter, getattr(self, counter) + by)
 
     # ------------------------------------------------------------------
     def as_dict(self) -> dict:
         """All counters as a plain ``{name: int}`` dict."""
-        return {
-            f.name: getattr(self, f.name)
-            for f in fields(self)
-            if f.name != "_lock"
-        }
+        return {f.name: getattr(self, f.name) for f in fields(self)}
 
     @property
     def total_injected(self) -> int:
@@ -110,10 +109,17 @@ class FaultTelemetry:
         )
 
     def merge(self, other: "FaultTelemetry") -> "FaultTelemetry":
-        """Add ``other``'s counters into self (returns self)."""
+        """Add ``other``'s counters into self (returns self) — the
+        single path by which worker shards reach a run's telemetry."""
         for name, value in other.as_dict().items():
             self.bump(name, value)
         return self
+
+    def register_into(self, metrics: Any, name: str = "resilience") -> None:
+        """Expose these counters through a
+        :class:`repro.observe.Metrics` registry as a live provider
+        (collected lazily — no copies, no locks)."""
+        metrics.register_provider(name, self.as_dict)
 
     def summary(self) -> str:
         """One-line human-readable digest of the nonzero counters."""

@@ -53,3 +53,18 @@ class BrokenResult:
     # RPR005: missing 'stalled'/'telemetry', and a shared mutable default.
     x: float = 0.0
     errors: list = []
+
+
+import logging  # noqa: E402
+
+log = logging.getLogger("fixture")
+
+
+def rpr006_hot_path_emission(corrections):
+    # RPR006: print/logging emission inside an executor loop.
+    for e in corrections:
+        print("applying", e)
+        log.debug("correction %s", e)
+    while corrections:
+        logging.info("still going")
+        corrections.pop()

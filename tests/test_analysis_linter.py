@@ -7,7 +7,7 @@ import pytest
 from repro.analysis import ALL_RULES, lint_source, run_linter, rule_by_code
 
 FIXTURE = Path(__file__).parent / "fixtures" / "rule_violations.py"
-ALL_CODES = ("RPR001", "RPR002", "RPR003", "RPR004", "RPR005")
+ALL_CODES = ("RPR001", "RPR002", "RPR003", "RPR004", "RPR005", "RPR006")
 
 
 def lint_fixture(**kwargs):
@@ -55,6 +55,26 @@ class TestFixtureViolations:
         msgs = [f.message for f in active if f.code == "RPR005"]
         assert any("missing required result field" in m for m in msgs)
         assert any("mutable default" in m for m in msgs)
+
+    def test_rpr006_print_and_logging(self):
+        active, _ = lint_fixture()
+        msgs = [f.message for f in active if f.code == "RPR006"]
+        assert len(msgs) == 3  # print, bound logger, logging module
+        assert any("print()" in m for m in msgs)
+        assert any("log.debug()" in m for m in msgs)
+        assert any("logging.info()" in m for m in msgs)
+
+    def test_rpr006_scoped_to_executors(self):
+        source = "for i in range(3):\n    print(i)\n"
+        active, _ = lint_source(source, "utils/plotting.py")
+        assert not any(f.code == "RPR006" for f in active)
+        active, _ = lint_source(source, "core/engine.py")
+        assert any(f.code == "RPR006" for f in active)
+
+    def test_rpr006_ignores_emission_outside_loops(self):
+        source = "print('run header')\nfor i in range(3):\n    x = i\n"
+        active, _ = lint_source(source, "core/engine.py")
+        assert not any(f.code == "RPR006" for f in active)
 
     def test_findings_carry_hint_and_location(self):
         active, _ = lint_fixture()
