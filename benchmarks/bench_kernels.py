@@ -1,0 +1,57 @@
+"""Kernel-layer perf bench — regenerates ``results/BENCH_perf.json``.
+
+Thin pytest harness over :func:`repro.kernels.bench.run_bench` (the
+same engine behind ``repro bench``): measures the five hot kernels on
+every importable backend against the ``naive`` seed reference, one
+end-to-end async engine solve per backend, and the setup-cache
+cold/warm split, then persists the schema-versioned payload plus a
+readable digest.
+
+Scale: quick mode (64² grid) unless ``REPRO_SCALE >= 1`` or
+``REPRO_BENCH_FULL=1``, which run the full 256² workhorse the
+checked-in artifact was produced with.  Backends that are not
+importable here (numba is the optional ``[perf]`` extra) are recorded
+in the payload's ``backends.missing`` — absent, not zero.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.kernels.bench import SCHEMA, format_report, run_bench
+from repro.utils import env_float, env_int
+
+from _common import emit
+
+
+def test_bench_kernels(results_dir, benchmark):
+    full = env_float("REPRO_SCALE", 0.25) >= 1.0 or env_int("REPRO_BENCH_FULL", 0) == 1
+    payload = benchmark.pedantic(
+        lambda: run_bench(quick=not full), iterations=1, rounds=1
+    )
+
+    # Sanity: the payload is the schema CI consumes...
+    assert payload["schema"] == SCHEMA
+    assert set(payload["kernels"]) == {
+        "range_matvec",
+        "range_residual",
+        "jacobi_sweep",
+        "prolong_add",
+        "residual_norm",
+    }
+    measured = payload["backends"]["measured"]
+    assert "numpy" in measured and "naive" in measured
+    # ...and the plan-cached numpy backend did not regress below the
+    # allocating seed path on the kernel the tentpole targets (loose
+    # 1.2x guard: CI boxes are noisy, locally this is >2x).
+    rm = payload["kernels"]["range_matvec"]
+    assert rm["numpy"]["seconds_per_call"] < 1.2 * rm["naive"]["seconds_per_call"]
+    # Setup memoization is the other headline: warm must be far
+    # below cold (it is a dict hit vs a full AMG setup).
+    sc = payload["setup_cache"]
+    assert sc["warm_seconds"] < 0.1 * sc["cold_seconds"]
+
+    (results_dir / "BENCH_perf.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
+    emit(results_dir, "bench_kernels", format_report(payload))

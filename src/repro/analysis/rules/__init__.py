@@ -74,6 +74,7 @@ class Rule(ABC):
 def _collect_rules() -> List[Rule]:
     # Imported here (not at module top) so the registry and the rule
     # modules cannot form an import cycle.
+    from .hot_alloc import HotLoopAllocationRule
     from .hot_path import HotPathEmissionRule
     from .lock_order import LockOrderRule
     from .result_contract import ResultContractRule
@@ -88,6 +89,7 @@ def _collect_rules() -> List[Rule]:
         WallClockRule,
         ResultContractRule,
         HotPathEmissionRule,
+        HotLoopAllocationRule,
     ]
     rules = [cls() for cls in classes]
     codes = [r.code for r in rules]

@@ -10,6 +10,9 @@ Commands
              instrumented model-conformance run.
 ``trace``    Record (``run``), summarize (``report``) and convert
              (``export``) traces from the :mod:`repro.observe` layer.
+``bench``    Kernel-layer performance bench: per-kernel and end-to-end
+             timings per backend, emitted as schema-versioned
+             ``BENCH_perf.json`` (see :mod:`repro.kernels.bench`).
 
 Examples
 --------
@@ -30,6 +33,8 @@ Examples
         --tmax 10 --out run.jsonl
     python -m repro trace report run.jsonl --delta 8
     python -m repro trace export run.jsonl --chrome run.chrome.json
+    python -m repro bench --quick --out BENCH_perf.json
+    python -m repro solve --set 5pt --size 64 --run-async --kernels numpy
 """
 
 from __future__ import annotations
@@ -40,7 +45,9 @@ import sys
 from typing import List, Optional
 
 
-from .amg import SetupOptions, setup_hierarchy
+from . import kernels
+from .amg import SetupOptions
+from .kernels.setupcache import cached_setup_hierarchy
 from .core import (
     ScheduleParams,
     run_async_engine,
@@ -81,7 +88,9 @@ def _build(args) -> tuple:
     if args.test_set == "mfem_elasticity":
         hierarchy = paper_hierarchy("mfem_elasticity", problem.A)
     else:
-        hierarchy = setup_hierarchy(
+        # Memoized: repeated CLI invocations in one process (tests,
+        # benchmark harnesses driving main()) pay for setup once.
+        hierarchy = cached_setup_hierarchy(
             problem.A,
             SetupOptions(
                 coarsen_type=getattr(args, "coarsen", "hmis"),
@@ -115,6 +124,15 @@ def _make_solver(args, hierarchy):
 
 
 def _cmd_solve(args) -> int:
+    if getattr(args, "kernels", None):
+        try:
+            kernels.use(args.kernels)
+        except ImportError as exc:
+            print(
+                f"error: kernel backend {args.kernels!r} not available: {exc}",
+                file=sys.stderr,
+            )
+            return 2
     problem, hierarchy = _build(args)
     solver = _make_solver(args, hierarchy)
     faults = None
@@ -152,7 +170,8 @@ def _cmd_solve(args) -> int:
         print(
             f"{label}: relres = {res.rel_residual:.6e}, "
             f"corrects = {res.corrects:.1f}, diverged = {res.diverged}, "
-            f"stalled = {stalled}"
+            f"stalled = {stalled} "
+            f"[kernels: {getattr(res, 'kernel_backend', kernels.current_backend())}]"
         )
         if faults is not None or guard is not None:
             print(f"faults/guards: {res.telemetry.summary()}")
@@ -349,6 +368,49 @@ def _add_solve_args(p: argparse.ArgumentParser) -> None:
         help="enable the resilience guard layer (screening, "
         "checkpoint/rollback, watchdog restart, retransmission)",
     )
+    p.add_argument(
+        "--kernels",
+        choices=("auto", "numpy", "numba", "naive", "off"),
+        default=None,
+        metavar="BACKEND",
+        help="select the repro.kernels backend for this run "
+        "(auto/numpy/numba/naive; default: keep the REPRO_KERNELS "
+        "environment selection)",
+    )
+
+
+def _cmd_bench(args) -> int:
+    from .kernels.bench import format_report, run_bench
+
+    backends = None
+    if args.backends:
+        backends = [b.strip() for b in args.backends.split(",") if b.strip()]
+        unknown = [
+            b for b in backends
+            if kernels._ALIASES.get(b, b) not in kernels._KNOWN
+        ]
+        if unknown:
+            print(f"error: unknown kernel backend(s): {', '.join(unknown)}",
+                  file=sys.stderr)
+            return 2
+    payload = run_bench(
+        quick=args.quick,
+        backends=backends,
+        out=args.out,
+        size=args.size,
+        seed=args.seed,
+    )
+    print(format_report(payload))
+    if args.out:
+        print(f"wrote {args.out}")
+    missing = payload["backends"]["missing"]  # type: ignore[index]
+    if missing:
+        print(
+            f"note: requested backend(s) not importable here and NOT "
+            f"measured: {', '.join(missing)} "
+            f"(install the [perf] extra for numba)"
+        )
+    return 0
 
 
 def _cmd_trace_run(args) -> int:
@@ -523,6 +585,38 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the (t, relres) series as CSV",
     )
     tp.set_defaults(func=_cmd_trace_export)
+
+    p = sub.add_parser(
+        "bench",
+        help="kernel-layer perf bench; writes schema-versioned "
+        "BENCH_perf.json (repro.kernels.bench)",
+    )
+    p.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke mode: smaller problem, fewer repetitions",
+    )
+    p.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="write the JSON payload here (e.g. BENCH_perf.json)",
+    )
+    p.add_argument(
+        "--size",
+        type=int,
+        default=None,
+        help="5pt grid length (default: 256, or 64 with --quick)",
+    )
+    p.add_argument(
+        "--backends",
+        default=None,
+        metavar="LIST",
+        help="comma-separated backends to measure (default: all "
+        "importable); unimportable ones are reported as missing",
+    )
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_bench)
     return parser
 
 

@@ -42,6 +42,7 @@ from typing import TYPE_CHECKING, Any, Callable, Generator, List, Optional, Tupl
 
 import numpy as np
 
+from .. import kernels
 from ..linalg import two_norm
 from ..resilience import FaultInjector, FaultPlan, FaultTelemetry, Guard, GuardPolicy
 from .criteria import Criterion1, Criterion2
@@ -92,6 +93,8 @@ class AsyncEngineResult:
     trace_summary: Optional["TraceSummary"] = None
     """Compact digest of the recorded trace when the run was handed a
     :class:`~repro.observe.Tracer` (None otherwise)."""
+    kernel_backend: str = "numpy"
+    """Active :mod:`repro.kernels` backend the run executed with."""
 
     @property
     def corrects(self) -> float:
@@ -130,46 +133,54 @@ def _grid_coroutine(
     # Initialize r^k = b (Algorithm 5 line 1); a restarted grid is
     # re-synced with the residual of the shared iterate instead.
     r_local = b.copy() if r0 is None else np.array(r0, dtype=np.float64)
+    # Steady-state buffers, allocated once per coroutine: the iterate
+    # snapshot, the recomputed residual, and (mode-dependent) the A·e
+    # product / owned-row refresh slice.  The kernel layer fills these
+    # in place, so the correction loop below allocates nothing per
+    # iteration.  Buffer reuse across yields is safe because at most
+    # one micro-op per grid is pending and the scheduler consumes its
+    # payload before resuming the coroutine.
+    x_buf = np.empty(n, dtype=np.float64)
+    r_buf = np.empty(n, dtype=np.float64)
+    de_buf = np.empty(n, dtype=np.float64) if rescomp == "rupdate" else None
+    lo_r, hi_r = rows
+    fresh_buf = (
+        np.empty(hi_r - lo_r, dtype=np.float64)
+        if rescomp == "global" and hi_r > lo_r
+        else None
+    )
     while True:
         e = correct(k, r_local)
         # --- write the correction to the shared iterate -------------
         for lo, hi in chunks:
             yield ("add_x", lo, hi, e[lo:hi])
         if rescomp == "rupdate":
-            de = solver.A @ e
+            assert de_buf is not None
+            kernels.range_matvec(solver.A, e, 0, n, out=de_buf)
+            np.negative(de_buf, out=de_buf)
             for lo, hi in chunks:
-                yield ("add_r", lo, hi, -de[lo:hi])
+                yield ("add_r", lo, hi, de_buf[lo:hi])
         # --- obtain the next residual -------------------------------
         if rescomp == "local":
-            x_local = np.empty(n)
             for lo, hi in chunks:
-                x_local[lo:hi] = yield ("read_x", lo, hi)
-            r_local = b - solver.A @ x_local
+                x_buf[lo:hi] = yield ("read_x", lo, hi)
+            r_local = kernels.range_residual(solver.A, x_buf, b, 0, n, out=r_buf)
         elif rescomp == "global":
             # No-wait global parfor share: refresh only our own rows
             # of the shared residual from the current shared iterate.
-            x_local = np.empty(n)
             for lo, hi in chunks:
-                x_local[lo:hi] = yield ("read_x", lo, hi)
-            lo_r, hi_r = rows
-            if hi_r > lo_r:
-                fresh = b[lo_r:hi_r] - _rows_matvec(solver.A, x_local, lo_r, hi_r)
-                yield ("refresh_r", lo_r, hi_r, fresh)
-            r_local = np.empty(n)
+                x_buf[lo:hi] = yield ("read_x", lo, hi)
+            if fresh_buf is not None:
+                kernels.range_residual(solver.A, x_buf, b, lo_r, hi_r, out=fresh_buf)
+                yield ("refresh_r", lo_r, hi_r, fresh_buf)
             for lo, hi in chunks:
-                r_local[lo:hi] = yield ("read_r", lo, hi)
+                r_buf[lo:hi] = yield ("read_r", lo, hi)
+            r_local = r_buf
         else:  # rupdate
-            r_local = np.empty(n)
             for lo, hi in chunks:
-                r_local[lo:hi] = yield ("read_r", lo, hi)
+                r_buf[lo:hi] = yield ("read_r", lo, hi)
+            r_local = r_buf
         yield ("done_correction",)
-
-
-def _rows_matvec(A: Any, x: np.ndarray, lo: int, hi: int) -> np.ndarray:
-    p0, p1 = A.indptr[lo], A.indptr[hi]
-    seg = A.data[p0:p1] * x[A.indices[p0:p1]]
-    local = np.repeat(np.arange(hi - lo), np.diff(A.indptr[lo : hi + 1]))
-    return np.bincount(local, weights=seg, minlength=hi - lo)
 
 
 def run_async_engine(
@@ -230,8 +241,10 @@ def run_async_engine(
     tracer:
         Optional :class:`~repro.observe.Tracer` (use ``clock="steps"``).
         Event times are scheduler micro-steps, so a traced run with a
-        fixed seed produces a bit-identical event stream on every
-        repeat.  Tracing records correction begin/end, read/write and
+        fixed seed produces a bit-identical algorithmic event stream on
+        every repeat (the per-run ``kernel`` timing events carry
+        measured wall seconds, which naturally vary).  Tracing records
+        correction begin/end, read/write and
         staleness, and guard/fault events; residual snapshots are only
         emitted for norms the run computes anyway (``track_trace`` or
         guard checkpoints), so tracing itself adds no SpMV.  The digest
@@ -313,6 +326,14 @@ def run_async_engine(
     # holds grid k's currently pending micro-op.
     requests: List[Optional[tuple]] = [g.send(None) for g in gens]
 
+    # Per-kernel attribution: a traced run times every kernel call so
+    # the trace can say where the micro-steps' wall time went.
+    stats_were_on = False
+    kstats0: dict = {}
+    if tracer is not None:
+        stats_were_on = kernels.enable_stats(True)
+        kstats0 = kernels.stats()
+
     trace: List[float] = []
     cps = sorted(checkpoints) if checkpoints else []
     cp_idx = 0
@@ -373,14 +394,17 @@ def run_async_engine(
                 tracer.record("write", k, float(micro), 0.0, -1.0, "r")
         elif kind == "read_x":
             _, lo, hi = op
-            send_val = x[lo:hi].copy()
+            # The coroutine copies the sent slice into its own buffer
+            # before it can observe further commits, so a view is safe
+            # here and skips a per-read allocation.
+            send_val = x[lo:hi]
             if lo == 0:
                 last_read_epoch[k] = commit_epoch
                 if tracer is not None:
                     tracer.record("read", k, float(micro), float(commit_epoch), 0.0, "x")
         elif kind == "read_r":
             _, lo, hi = op
-            send_val = r[lo:hi].copy()
+            send_val = r[lo:hi]
             if lo == 0:
                 last_read_epoch[k] = commit_epoch
                 if tracer is not None:
@@ -398,7 +422,7 @@ def run_async_engine(
             commit_epoch += 1
             rel_now: Optional[float] = None
             if track_trace:
-                rel_now = float(two_norm(b - solver.A @ x) / nb)
+                rel_now = float(kernels.residual_norm(solver.A, x, b) / nb)
                 trace.append(rel_now)
             if tracer is not None:
                 cnt = float(crit.counts[k])
@@ -418,7 +442,7 @@ def run_async_engine(
                 cp_results.append(
                     (
                         cps[cp_idx],
-                        float(two_norm(b - solver.A @ x) / nb),
+                        float(kernels.residual_norm(solver.A, x, b) / nb),
                         float(crit.counts.mean()),
                     )
                 )
@@ -444,7 +468,7 @@ def run_async_engine(
             # --- guard: periodic checkpoint / spike rollback --------
             if ckpt_every and int(crit.counts.sum()) % ckpt_every == 0:
                 if rel_now is None:
-                    rel_now = float(two_norm(b - solver.A @ x) / nb)
+                    rel_now = float(kernels.residual_norm(solver.A, x, b) / nb)
                     if tracer is not None:
                         tracer.record("residual", k, float(micro), rel_now, 0.0, "global")
                 action, x_restore = grd.checkpoint_or_rollback(x, rel_now)
@@ -452,7 +476,7 @@ def run_async_engine(
                     tracer.record("guard", k, float(micro), tag=action)
                 if action == "rollback":
                     x[:] = x_restore  # repro: noqa[RPR001] rollback at the scheduler barrier
-                    r[:] = b - solver.A @ x  # repro: noqa[RPR001] rollback at the scheduler barrier
+                    kernels.range_residual(solver.A, x, b, 0, n, out=r)
             # --- guard: staleness watchdog + restart ----------------
             if wd_micro is not None:
                 for j in range(ngrids):
@@ -487,7 +511,7 @@ def run_async_engine(
                         if tracer is not None:
                             tracer.record("guard", k, float(micro), tag="rollback")
                         x[:] = x_restore  # repro: noqa[RPR001] rollback at the scheduler barrier
-                        r[:] = b - solver.A @ x  # repro: noqa[RPR001] rollback at the scheduler barrier
+                        kernels.range_residual(solver.A, x, b, 0, n, out=r)
                         recovered = True
                 if not recovered:
                     diverged = True
@@ -502,11 +526,15 @@ def run_async_engine(
                 break
             raise RuntimeError("engine exceeded micro-step budget")
 
-    rel = two_norm(b - solver.A @ x) / nb
+    rel = kernels.residual_norm(solver.A, x, b) / nb
     final_diverged = diverged or not np.isfinite(rel) or rel > divergence_threshold
     if injector is not None and not final_diverged and not crit.all_done():
         stalled = True
     stalled = stalled and not final_diverged
+    if tracer is not None:
+        for kname, (calls, secs) in sorted(kernels.stats_delta(kstats0).items()):
+            tracer.record("kernel", -1, float(micro), float(secs), float(calls), kname)
+        kernels.enable_stats(stats_were_on)
     return AsyncEngineResult(
         x=x,
         rel_residual=rel,
@@ -520,4 +548,5 @@ def run_async_engine(
         stalled=stalled,
         telemetry=telemetry,
         trace_summary=tracer.summary() if tracer is not None else None,
+        kernel_backend=kernels.current_backend(),
     )

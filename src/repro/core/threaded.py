@@ -29,6 +29,7 @@ from typing import TYPE_CHECKING, Any, Callable, List, Optional
 
 import numpy as np
 
+from .. import kernels
 from ..linalg import two_norm
 from ..resilience import FaultInjector, FaultPlan, FaultTelemetry, Guard, GuardPolicy
 from .criteria import Criterion1, Criterion2
@@ -80,17 +81,12 @@ class ThreadedResult:
     trace_summary: Optional["TraceSummary"] = None
     """Compact digest of the recorded trace when the run was handed a
     :class:`~repro.observe.Tracer` (None otherwise)."""
+    kernel_backend: str = "numpy"
+    """Active :mod:`repro.kernels` backend the run executed with."""
 
     @property
     def corrects(self) -> float:
         return float(self.counts.mean())
-
-
-def _rows_matvec(A: Any, x: np.ndarray, lo: int, hi: int) -> np.ndarray:
-    p0, p1 = A.indptr[lo], A.indptr[hi]
-    seg = A.data[p0:p1] * x[A.indices[p0:p1]]
-    local = np.repeat(np.arange(hi - lo), np.diff(A.indptr[lo : hi + 1]))
-    return np.bincount(local, weights=seg, minlength=hi - lo)
 
 
 def run_threaded(
@@ -198,6 +194,14 @@ def run_threaded(
     )
     grd = Guard(guard, nb, telemetry) if guard is not None else None
 
+    # Per-kernel attribution: a traced run times every kernel call so
+    # the trace can say where the workers' wall time went.
+    stats_were_on = False
+    kstats0: dict = {}
+    if tracer is not None:
+        stats_were_on = kernels.enable_stats(True)
+        kstats0 = kernels.stats()
+
     t0 = _time.perf_counter()
     if tracer is not None:
         tracer.restart_clock()  # event times = seconds since run start
@@ -214,6 +218,21 @@ def run_threaded(
         # A restarted worker re-syncs from the shared iterate instead
         # of assuming the initial residual b (its replica is gone).
         r_local = (b - A @ xpol.read(x)) if resync else b.copy()
+        # Worker-owned steady-state buffers (one allocation per worker,
+        # zero per iteration): the recomputed residual, the A·e product
+        # for rupdate, the owned-row refresh slice for global-res, and
+        # the zero correction substituted for guard-rejected updates.
+        # The kernel layer fills these in place; buffers are never
+        # shared across workers, so no synchronization is needed.
+        r_buf = np.empty(n, dtype=np.float64)
+        de_buf = np.empty(n, dtype=np.float64) if rescomp == "rupdate" else None
+        lo_k, hi_k = rows[k]
+        fresh_buf = (
+            np.empty(hi_k - lo_k, dtype=np.float64)
+            if rescomp == "global" and hi_k > lo_k
+            else None
+        )
+        zeros_e = np.zeros(n, dtype=np.float64) if grd is not None else None
         try:
             while not crit.grid_done(k) and not stop_event.is_set():
                 heartbeats[k] = _time.perf_counter()
@@ -239,20 +258,28 @@ def run_threaded(
                     e = injector.corrupt(e, shard)
                 if grd is not None:
                     screened = grd.screen(e, telemetry=shard)
-                    e = np.zeros(n) if screened is None else screened
+                    if screened is None:
+                        # Rejected correction: substitute the cached
+                        # zero vector (read-only by construction).
+                        assert zeros_e is not None
+                        e = zeros_e
+                    else:
+                        e = screened
                 xpol.add(x, e)
                 if rescomp == "rupdate":
-                    rpol.add(r, -(A @ e))
+                    assert de_buf is not None
+                    kernels.range_matvec(A, e, 0, n, out=de_buf)
+                    np.negative(de_buf, out=de_buf)
+                    rpol.add(r, de_buf)
                     r_local = rpol.read(r)
                 elif rescomp == "local":
                     x_loc = xpol.read(x)
-                    r_local = b - A @ x_loc
+                    r_local = kernels.range_residual(A, x_loc, b, 0, n, out=r_buf)
                 else:  # global
                     x_loc = xpol.read(x)
-                    lo, hi = rows[k]
-                    if hi > lo:
-                        fresh = b[lo:hi] - _rows_matvec(A, x_loc, lo, hi)
-                        rpol.assign_slice(r, lo, hi, fresh)
+                    if fresh_buf is not None:
+                        kernels.range_residual(A, x_loc, b, lo_k, hi_k, out=fresh_buf)
+                        rpol.assign_slice(r, lo_k, hi_k, fresh_buf)
                     r_local = rpol.read(r)
                 crit.record(k)
                 heartbeats[k] = _time.perf_counter()
@@ -287,7 +314,9 @@ def run_threaded(
     def monitor(t_start: float) -> None:
         while not monitor_stop.is_set():
             now = _time.perf_counter() - t_start
-            rel_s = two_norm(b - A @ x) / nb  # racy read: sampling only
+            # Racy read (sampling only); the kernel writes into the
+            # monitor thread's own scratch, so no allocation per sample.
+            rel_s = kernels.residual_norm(A, x, b) / nb
             samples.append((now, float(rel_s)))
             if tracer is not None:
                 tracer.record(
@@ -367,7 +396,7 @@ def run_threaded(
             break
         if grd is not None and now >= next_ckpt:
             x_snap = xpol.read(x)
-            rel_now = float(two_norm(b - A @ x_snap) / nb)
+            rel_now = float(kernels.residual_norm(A, x_snap, b) / nb)
             action, x_restore = grd.checkpoint_or_rollback(x_snap, rel_now)
             if tracer is not None and action != "none":
                 tracer.record(
@@ -375,7 +404,14 @@ def run_threaded(
                 )
             if action == "rollback":
                 xpol.assign_slice(x, 0, n, x_restore)
-                rpol.assign_slice(r, 0, n, b - A @ x_restore)
+                rpol.assign_slice(
+                    r,
+                    0,
+                    n,
+                    kernels.range_residual(
+                        A, x_restore, b, 0, n, out=kernels.scratch(n, slot=5)
+                    ),
+                )
             next_ckpt = _time.perf_counter() + guard.checkpoint_period_s
         _time.sleep(poll_s)
 
@@ -393,7 +429,7 @@ def run_threaded(
     for shard in shards:  # single merge path for worker telemetry
         telemetry.merge(shard)
 
-    rel = two_norm(b - A @ x) / nb
+    rel = kernels.residual_norm(A, x, b) / nb
     diverged = (
         (stop_event.is_set() and not timed_out and not stalled and not errors)
         or not np.isfinite(rel)
@@ -406,6 +442,10 @@ def run_threaded(
     ):
         stalled = True
     stalled = stalled and not diverged
+    if tracer is not None:
+        for kname, (calls, secs) in sorted(kernels.stats_delta(kstats0).items()):
+            tracer.record("kernel", -1, wall, float(secs), float(calls), kname)
+        kernels.enable_stats(stats_were_on)
     return ThreadedResult(
         x=x,
         rel_residual=rel,
@@ -417,4 +457,5 @@ def run_threaded(
         stalled=bool(stalled),
         telemetry=telemetry,
         trace_summary=tracer.summary() if tracer is not None else None,
+        kernel_backend=kernels.current_backend(),
     )

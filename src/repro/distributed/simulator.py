@@ -52,6 +52,7 @@ from typing import TYPE_CHECKING, List, Optional, Tuple
 
 import numpy as np
 
+from .. import kernels
 from ..core.perfmodel import MachineParams
 from ..linalg import two_norm
 from ..partition import partition_threads
@@ -96,6 +97,8 @@ class DistributedResult:
     trace_summary: Optional["TraceSummary"] = None
     """Compact digest of the recorded trace when the run was handed a
     :class:`~repro.observe.Tracer` (None otherwise)."""
+    kernel_backend: str = "numpy"
+    """Active :mod:`repro.kernels` backend the run executed with."""
 
     @property
     def corrects(self) -> float:
@@ -264,7 +267,13 @@ def simulate_distributed(
         if strategy == "global":
             r_in = replicas[k].copy()
         else:
-            r_in = b - A @ replicas[k]
+            # Fused residual into the event loop's scratch vector: the
+            # input is consumed synchronously by solver.correction (no
+            # solver retains or aliases its residual argument), so the
+            # buffer is free again by the next start_compute.
+            r_in = kernels.range_residual(
+                A, replicas[k], b, 0, n, out=kernels.scratch(n, slot=6)
+            )
         last_read_epoch[k] = commit_epoch
         if tracer is not None:
             tracer.record("read", k, t, float(commit_epoch), 0.0, read_tag)
@@ -294,6 +303,17 @@ def simulate_distributed(
     for k in range(ngrids):
         start_compute(k, 0.0)
 
+    # Cached zero correction for guard-rejected updates (read-only by
+    # construction — it is added to the iterate and shipped in
+    # messages, never written).
+    zeros_e = np.zeros(n, dtype=np.float64) if grd is not None else None
+    # Per-kernel attribution for traced runs.
+    stats_were_on = False
+    kstats0: dict = {}
+    if tracer is not None:
+        stats_were_on = kernels.enable_stats(True)
+        kstats0 = kernels.stats()
+
     ckpt_every = guard.checkpoint_interval * ngrids if grd is not None else 0
     wall = 0.0
     events = 0
@@ -318,7 +338,11 @@ def simulate_distributed(
                 screened = grd.screen(e)
                 # A rejected correction is discarded outright: the
                 # process just computes the next one from its replica.
-                e = np.zeros(n) if screened is None else screened
+                if screened is None:
+                    assert zeros_e is not None
+                    e = zeros_e
+                else:
+                    e = screened
             # The discrete-event loop is single-threaded: the true
             # iterate is only touched here, between events.
             x_true += e  # repro: noqa[RPR001] event-loop is the serialization point
@@ -326,7 +350,7 @@ def simulate_distributed(
             commit_epoch += 1
             rel_now: Optional[float] = None
             if track_trace:
-                rel_now = float(two_norm(b - A @ x_true) / nb)
+                rel_now = float(kernels.residual_norm(A, x_true, b) / nb)
                 trace.append((t, rel_now))
             if tracer is not None:
                 stal = (
@@ -357,7 +381,7 @@ def simulate_distributed(
             # --- guard: periodic checkpoint / spike rollback ---------
             if ckpt_every and int(counts.sum()) % ckpt_every == 0:
                 if rel_now is None:
-                    rel_now = float(two_norm(b - A @ x_true) / nb)
+                    rel_now = float(kernels.residual_norm(A, x_true, b) / nb)
                     if tracer is not None:
                         tracer.record("residual", proc, t, rel_now, 0.0, "global")
                 action, x_restore = grd.checkpoint_or_rollback(x_true, rel_now)
@@ -439,11 +463,15 @@ def simulate_distributed(
                 tracer.record("msg", proc, t, float(mid), float(src), "recv")
             replicas[proc] += vec
 
-    rel = two_norm(b - A @ x_true) / nb
+    rel = kernels.residual_norm(A, x_true, b) / nb
     diverged = bool(diverged or not np.isfinite(rel) or rel > divergence_threshold)
     if injector is not None and not diverged and not all_done():
         stalled = True
     stalled = stalled and not diverged
+    if tracer is not None:
+        for kname, (calls, secs) in sorted(kernels.stats_delta(kstats0).items()):
+            tracer.record("kernel", -1, wall, float(secs), float(calls), kname)
+        kernels.enable_stats(stats_were_on)
     return DistributedResult(
         x=x_true,
         rel_residual=float(rel),
@@ -459,4 +487,5 @@ def simulate_distributed(
         residual_trace=trace,
         activity_trace=activity,
         trace_summary=tracer.summary() if tracer is not None else None,
+        kernel_backend=kernels.current_backend(),
     )

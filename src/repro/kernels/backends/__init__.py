@@ -1,0 +1,25 @@
+"""Kernel backend implementations.
+
+Every backend module exposes the same five low-level entry points
+operating on a :class:`~repro.kernels.plans.RowRangePlan` plus caller
+buffers (the dispatch layer in :mod:`repro.kernels` owns buffer
+acquisition and statistics):
+
+=====================  ==============================================
+``range_matvec``       ``out[:] = (A @ x)[start:stop]`` (local length)
+``range_residual``     ``out[:] = (b - A @ x)[start:stop]``
+``jacobi_sweep``       one fused diagonal sweep, in place on ``y``
+``prolong_add``        ``y += omega * (P @ e)`` (fused axpy-SpMV)
+``residual_norm``      ``||b - A x||_2`` without a persistent temporary
+=====================  ==============================================
+
+Backends:
+
+- ``naive`` — the seed code paths, kept verbatim as the bit-exact
+  reference (and the ``REPRO_KERNELS=off`` escape hatch).
+- ``numpy`` — allocation-free plan-driven kernels on scipy's compiled
+  CSR routines; bit-identical to ``naive`` (same operation order).
+- ``numba`` — JIT-compiled loops; available only when numba imports,
+  agrees with ``numpy`` to tight floating-point tolerance (1e-14
+  relative) but not bitwise (different reduction code).
+"""

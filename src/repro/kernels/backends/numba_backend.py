@@ -1,0 +1,139 @@
+"""The ``numba`` backend — JIT-compiled CSR kernels.
+
+Importing this module requires numba; the dispatch layer import-gates
+it, so environments without numba silently fall back to the ``numpy``
+backend (``available_backends()`` tells you which you got).
+
+The loops mirror the compiled scipy routine row for row — sequential
+left-to-right accumulation per row — so results agree with the
+``numpy`` backend to tight floating-point tolerance (the parity suite
+asserts 1e-14 relative); they are not guaranteed bitwise identical
+because LLVM may vectorize the reductions differently.  ``fastmath``
+stays off for exactly that reason.  ``cache=True`` persists the
+compiled artifacts next to the package so repeated benchmark runs skip
+recompilation.
+
+Why it wins: one pass over the row range with zero temporaries — the
+fused kernels (residual, sweep, prolong-add, norm) do in a single
+C-speed loop what the numpy backend does in 2-4 vector passes over
+full-length arrays.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from numba import njit  # noqa: F401 - import failure gates the backend
+
+from ..plans import RowRangePlan
+
+__all__ = [
+    "range_matvec",
+    "range_residual",
+    "jacobi_sweep",
+    "prolong_add",
+    "residual_norm",
+]
+
+name = "numba"
+
+_JIT = {"nopython": True, "nogil": True, "cache": True, "fastmath": False}
+
+
+@njit(**_JIT)
+def _range_matvec(indptr_w, indices, data, x, out):  # pragma: no cover - jitted
+    for i in range(out.shape[0]):
+        acc = 0.0
+        for jj in range(indptr_w[i], indptr_w[i + 1]):
+            acc += data[jj] * x[indices[jj]]
+        out[i] = acc
+
+
+@njit(**_JIT)
+def _range_residual(indptr_w, indices, data, x, b, start, out):  # pragma: no cover
+    for i in range(out.shape[0]):
+        acc = 0.0
+        for jj in range(indptr_w[i], indptr_w[i + 1]):
+            acc += data[jj] * x[indices[jj]]
+        out[i] = b[start + i] - acc
+
+
+@njit(**_JIT)
+def _jacobi_sweep(indptr_w, indices, data, dinv, rhs, y, tmp):  # pragma: no cover
+    n = y.shape[0]
+    for i in range(n):
+        acc = 0.0
+        for jj in range(indptr_w[i], indptr_w[i + 1]):
+            acc += data[jj] * y[indices[jj]]
+        tmp[i] = dinv[i] * (rhs[i] - acc)
+    for i in range(n):
+        y[i] += tmp[i]
+
+
+@njit(**_JIT)
+def _prolong_add(indptr_w, indices, data, e, y, omega):  # pragma: no cover
+    for i in range(y.shape[0]):
+        acc = 0.0
+        for jj in range(indptr_w[i], indptr_w[i + 1]):
+            acc += data[jj] * e[indices[jj]]
+        y[i] += omega * acc
+    return y
+
+
+@njit(**_JIT)
+def _residual_sqnorm(indptr_w, indices, data, x, b, start):  # pragma: no cover
+    total = 0.0
+    for i in range(indptr_w.shape[0] - 1):
+        acc = 0.0
+        for jj in range(indptr_w[i], indptr_w[i + 1]):
+            acc += data[jj] * x[indices[jj]]
+        r = b[start + i] - acc
+        total += r * r
+    return total
+
+
+def range_matvec(plan: RowRangePlan, x: np.ndarray, out: np.ndarray) -> None:
+    if plan.nrows == 0:
+        return
+    _range_matvec(plan.indptr_window, plan.indices, plan.data, x, out)
+
+
+def range_residual(
+    plan: RowRangePlan, x: np.ndarray, b: np.ndarray, out: np.ndarray
+) -> None:
+    if plan.nrows == 0:
+        return
+    _range_residual(
+        plan.indptr_window, plan.indices, plan.data, x, b, plan.start, out
+    )
+
+
+def jacobi_sweep(
+    plan: RowRangePlan,
+    dinv: np.ndarray,
+    rhs: np.ndarray,
+    y: np.ndarray,
+    tmp: np.ndarray,
+) -> None:
+    _jacobi_sweep(plan.indptr_window, plan.indices, plan.data, dinv, rhs, y, tmp)
+
+
+def prolong_add(
+    plan: RowRangePlan,
+    e: np.ndarray,
+    y: np.ndarray,
+    omega: float,
+    tmp: np.ndarray,
+) -> None:
+    _prolong_add(plan.indptr_window, plan.indices, plan.data, e, y, float(omega))
+
+
+def residual_norm(
+    plan: RowRangePlan, x: np.ndarray, b: np.ndarray, tmp: np.ndarray
+) -> float:
+    return float(
+        np.sqrt(
+            _residual_sqnorm(
+                plan.indptr_window, plan.indices, plan.data, x, b, plan.start
+            )
+        )
+    )

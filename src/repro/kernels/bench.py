@@ -1,0 +1,291 @@
+"""Kernel-layer performance bench — the ``repro bench`` backend.
+
+Times the five hot kernels (:data:`repro.kernels.KERNEL_NAMES`)
+against the ``naive`` seed reference on every *available* backend,
+plus an end-to-end asynchronous engine solve per backend and the
+setup-cache cold/warm split, and emits one schema-versioned JSON
+payload (``repro.bench_perf/1``) suitable for checking in or uploading
+as a CI artifact.
+
+Honesty contract: backends that cannot be imported in this
+environment (numba is an optional extra) are *reported as missing*,
+never silently dropped — the payload always distinguishes "numba was
+not measured here" from "numba was measured and slow".
+
+The benchmark problem is the registry's 2-D ``5pt`` set at grid
+length 256 (65,536 rows) — large enough that SpMV dominates, cheap
+enough to set up; ``--quick`` shrinks it for CI smoke runs.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import subprocess
+import time
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from .. import kernels
+from ..amg import SetupOptions
+from .setupcache import cached_setup_hierarchy, clear_setup_cache
+
+__all__ = ["SCHEMA", "run_bench", "format_report"]
+
+#: Payload schema identifier; bump on breaking layout changes.
+SCHEMA = "repro.bench_perf/1"
+
+_PROBLEM_SET = "5pt"
+_FULL_SIZE = 256
+_QUICK_SIZE = 64
+
+
+def _git_commit() -> Optional[str]:
+    """Current commit hash, or ``None`` outside a git checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=Path(__file__).resolve().parent,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else None
+
+
+def _best_of(fn: Callable[[], None], repeats: int, inner: int) -> float:
+    """Best-of-``repeats`` mean seconds per call over ``inner`` calls."""
+    best = math.inf
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        for _ in range(inner):
+            fn()
+        best = min(best, time.perf_counter() - t0)
+    return best / inner
+
+
+def _kernel_cases(problem, hierarchy, seed: int):
+    """The five kernels as closures over preallocated operands.
+
+    Each case exercises the public dispatch exactly as the executors
+    do: explicit ``out`` buffers where the contract takes one, the
+    per-thread scratch pool elsewhere.
+    """
+    A = problem.A
+    b = problem.b
+    n = A.shape[0]
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal(n)
+    dinv = 1.0 / A.diagonal()
+    # One stripe of a 4-way row partition — the per-thread share the
+    # global-res executors actually compute.
+    lo, hi = n // 4, n // 2
+    out_local = np.empty(hi - lo, dtype=np.float64)
+    P = hierarchy.levels[0].P
+    e = rng.standard_normal(P.shape[1])
+    y = np.zeros(n, dtype=np.float64)
+    return {
+        "range_matvec": lambda: kernels.range_matvec(A, x, lo, hi, out=out_local),
+        "range_residual": lambda: kernels.range_residual(A, x, b, lo, hi, out=out_local),
+        "jacobi_sweep": lambda: kernels.jacobi_sweeps(A, dinv, b, x0=x, nsweeps=1),
+        "prolong_add": lambda: kernels.prolong_add(y, P, e),
+        "residual_norm": lambda: kernels.residual_norm(A, x, b),
+    }
+
+
+def _end_to_end(problem, hierarchy, tmax: int, repeats: int, seed: int) -> Dict[str, Any]:
+    """One asynchronous engine solve on the active backend."""
+    from ..core import run_async_engine
+    from ..solvers import Multadd
+
+    solver = Multadd(hierarchy, smoother="jacobi", weight=problem.jacobi_weight)
+    res = None
+    best = math.inf
+    prev = kernels.enable_stats(True)
+    before = kernels.stats()
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        res = run_async_engine(solver, problem.b, tmax=tmax, seed=seed)
+        best = min(best, time.perf_counter() - t0)
+    per_kernel = {
+        k: {"calls": calls, "seconds": secs}
+        for k, (calls, secs) in sorted(kernels.stats_delta(before).items())
+    }
+    kernels.enable_stats(prev)
+    assert res is not None
+    return {
+        "seconds": best,
+        "tmax": tmax,
+        "rel_residual": float(res.rel_residual),
+        "corrects": float(res.corrects),
+        "kernel_backend": res.kernel_backend,
+        "kernels": per_kernel,
+    }
+
+
+def _setup_cache_split(problem) -> Dict[str, float]:
+    """Cold-vs-warm wall time for memoized AMG setup on the problem."""
+    clear_setup_cache()
+    opts = SetupOptions()
+    t0 = time.perf_counter()
+    cached_setup_hierarchy(problem.A, opts)
+    cold = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    cached_setup_hierarchy(problem.A, opts)
+    warm = time.perf_counter() - t0
+    return {"cold_seconds": cold, "warm_seconds": warm}
+
+
+def run_bench(
+    quick: bool = False,
+    backends: Optional[Sequence[str]] = None,
+    out: Optional[str] = None,
+    size: Optional[int] = None,
+    seed: int = 0,
+) -> Dict[str, Any]:
+    """Run the kernel + end-to-end bench; return (and optionally write)
+    the ``repro.bench_perf/1`` payload.
+
+    ``backends=None`` requests every *known* backend and measures the
+    importable ones; the rest land in the payload's
+    ``backends.missing`` so a checked-in artifact from a numba-less
+    box says so explicitly.  ``--quick`` shrinks the problem and
+    repetition counts for CI.
+    """
+    from ..problems import build_problem
+
+    available = kernels.available_backends()
+    requested: List[str] = list(backends) if backends else list(kernels._KNOWN)
+    requested = [kernels._ALIASES.get(b, b) for b in requested]
+    missing = [b for b in requested if b not in available]
+    measured = [b for b in requested if b in available]
+    if "naive" not in measured:
+        # The reference is the bench's denominator; always measure it.
+        measured.append("naive")
+
+    psize = size if size is not None else (_QUICK_SIZE if quick else _FULL_SIZE)
+    problem = build_problem(_PROBLEM_SET, psize, rhs_seed=seed)
+    hierarchy = cached_setup_hierarchy(problem.A, SetupOptions())
+
+    repeats, inner = (3, 3) if quick else (7, 10)
+    tmax, e2e_repeats = (3, 1) if quick else (10, 3)
+
+    prev_backend = kernels.current_backend()
+    kernel_times: Dict[str, Dict[str, float]] = {k: {} for k in kernels.KERNEL_NAMES}
+    end_to_end: Dict[str, Any] = {}
+    try:
+        for backend in measured:
+            kernels.use(backend)
+            cases = _kernel_cases(problem, hierarchy, seed)
+            for kname, fn in cases.items():
+                fn()  # warm: build plans, trigger any JIT compile
+                kernel_times[kname][backend] = _best_of(fn, repeats, inner)
+            end_to_end[backend] = _end_to_end(
+                problem, hierarchy, tmax, e2e_repeats, seed
+            )
+    finally:
+        kernels.use(prev_backend)
+
+    kernels_out: Dict[str, Any] = {}
+    for kname, per_backend in kernel_times.items():
+        ref = per_backend.get("naive")
+        entry: Dict[str, Any] = {
+            b: {"seconds_per_call": s} for b, s in per_backend.items()
+        }
+        if ref:
+            for b, s in per_backend.items():
+                entry[b]["speedup_vs_naive"] = ref / s if s > 0 else None
+        kernels_out[kname] = entry
+
+    payload: Dict[str, Any] = {
+        "schema": SCHEMA,
+        "commit": _git_commit(),
+        "quick": quick,
+        "seed": seed,
+        "problem": {
+            "set": _PROBLEM_SET,
+            "size": psize,
+            "n": problem.n,
+            "nnz": problem.nnz,
+        },
+        "backends": {
+            "available": list(available),
+            "measured": measured,
+            "missing": missing,
+            "default": prev_backend,
+        },
+        "methodology": {
+            "kernel_repeats": repeats,
+            "kernel_inner_calls": inner,
+            "end_to_end_repeats": e2e_repeats,
+            "timing": "best-of-repeats mean seconds per call",
+        },
+        "kernels": kernels_out,
+        "end_to_end": end_to_end,
+        "setup_cache": _setup_cache_split(problem),
+    }
+    if out:
+        path = Path(out)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(payload, indent=2, sort_keys=False) + "\n")
+    return payload
+
+
+def format_report(payload: Dict[str, Any]) -> str:
+    """Human-readable digest of a ``repro.bench_perf/1`` payload."""
+    from ..utils import format_table
+
+    prob = payload["problem"]
+    back = payload["backends"]
+    lines = [
+        f"bench {payload['schema']} — {prob['set']} size {prob['size']} "
+        f"({prob['n']} rows, {prob['nnz']} nnz)",
+        f"backends measured: {', '.join(back['measured'])}"
+        + (
+            f"; missing (not importable): {', '.join(back['missing'])}"
+            if back["missing"]
+            else ""
+        ),
+    ]
+    measured: List[str] = back["measured"]
+    rows = []
+    for kname, entry in payload["kernels"].items():
+        row = [kname]
+        for b in measured:
+            cell = entry.get(b)
+            if cell is None:
+                row.append("-")
+            else:
+                us = cell["seconds_per_call"] * 1e6
+                sp = cell.get("speedup_vs_naive")
+                row.append(f"{us:9.1f} us" + (f" ({sp:4.1f}x)" if sp else ""))
+        rows.append(row)
+    lines.append(
+        format_table(["kernel"] + [f"{b}" for b in measured], rows,
+                     title="per-kernel time (speedup vs naive)")
+    )
+    e2e_rows = []
+    for b in measured:
+        e = payload["end_to_end"].get(b)
+        if e:
+            e2e_rows.append(
+                [b, f"{e['seconds']:.3f}", f"{e['rel_residual']:.3e}", f"{e['corrects']:.1f}"]
+            )
+    lines.append(
+        format_table(
+            ["backend", "engine solve (s)", "relres", "corrects"],
+            e2e_rows,
+            title=f"end-to-end async engine, tmax={next(iter(payload['end_to_end'].values()))['tmax']}",
+        )
+    )
+    sc = payload["setup_cache"]
+    lines.append(
+        f"setup cache: cold {sc['cold_seconds']:.3f}s, "
+        f"warm {sc['warm_seconds']*1e3:.2f}ms"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,130 @@
+"""Hierarchy setup cache — memoized AMG setup across repeated runs.
+
+The paper's timing experiments (Table I, Figs. 4-6) average many runs
+of the same problem; the reproduction's benchmark harnesses do the
+same.  AMG setup — strength, coarsening, interpolation, Galerkin
+products — dominated every such sweep (seconds per run at 256²-sized
+problems) while being a pure function of ``(matrix, options)``.  This
+module memoizes it:
+
+- :func:`cached_setup_hierarchy` keys on a content hash of the matrix
+  (shape + CSR array bytes) plus the full ``SetupOptions`` tuple, so
+  two *equal* matrices share a hierarchy even when they are distinct
+  objects (each benchmark repetition rebuilds its problem).
+- :func:`cached_smoothed_interpolants` memoizes Multadd's smoothed
+  interpolants ``P̄ᵏₖ₊₁ = G_k Pᵏₖ₊₁`` per ``(hierarchy, kind,
+  weight)`` directly on the hierarchy object, so building several
+  solver variants over one hierarchy (the Table-I harness does) pays
+  for the triple products once.
+
+The cache is process-local and bounded (LRU, small: hierarchies are
+large).  Correctness relies on hierarchies being treated as immutable
+after setup — which every solver in the repo already assumes.  Callers
+that mutate a matrix between runs get a fresh hierarchy automatically
+(the content hash changes); :func:`clear_setup_cache` is the explicit
+reset for tests.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from dataclasses import astuple
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..amg import Hierarchy, SetupOptions, setup_hierarchy, smoothed_interpolants
+from ..linalg import as_csr
+
+__all__ = [
+    "problem_fingerprint",
+    "cached_setup_hierarchy",
+    "cached_smoothed_interpolants",
+    "clear_setup_cache",
+    "setup_cache_info",
+]
+
+#: Retained hierarchies; small on purpose — a 256² hierarchy is ~10 MB.
+_MAX_ENTRIES = 8
+
+_CACHE: "OrderedDict[Tuple[str, tuple, Optional[bytes]], Hierarchy]" = OrderedDict()
+_HITS = 0
+_MISSES = 0
+
+
+def problem_fingerprint(A: sp.spmatrix) -> str:
+    """Content hash of a matrix: shape + canonical CSR array bytes.
+
+    blake2b over ~``16 * nnz`` bytes — microseconds at benchmark sizes,
+    amortized against seconds of AMG setup.
+    """
+    A = as_csr(A)
+    h = hashlib.blake2b(digest_size=16)
+    h.update(np.asarray(A.shape, dtype=np.int64).tobytes())
+    h.update(np.ascontiguousarray(A.indptr).tobytes())
+    h.update(np.ascontiguousarray(A.indices).tobytes())
+    h.update(np.ascontiguousarray(A.data).tobytes())
+    return h.hexdigest()
+
+
+def cached_setup_hierarchy(
+    A: sp.spmatrix,
+    options: Optional[SetupOptions] = None,
+    functions: Optional[np.ndarray] = None,
+) -> Hierarchy:
+    """Memoizing drop-in for :func:`repro.amg.setup_hierarchy`."""
+    global _HITS, _MISSES
+    opts = options or SetupOptions()
+    key = (
+        problem_fingerprint(A),
+        astuple(opts),
+        None if functions is None else np.asarray(functions, dtype=np.int64).tobytes(),
+    )
+    hier = _CACHE.get(key)
+    if hier is not None:
+        _CACHE.move_to_end(key)
+        _HITS += 1
+        return hier
+    _MISSES += 1
+    hier = setup_hierarchy(A, opts, functions=functions)
+    _CACHE[key] = hier
+    while len(_CACHE) > _MAX_ENTRIES:
+        _CACHE.popitem(last=False)
+    return hier
+
+
+def cached_smoothed_interpolants(
+    hierarchy: Hierarchy, kind: str = "jacobi", weight: float = 0.9
+) -> List[sp.csr_matrix]:
+    """Memoizing drop-in for :func:`repro.amg.smoothed_interpolants`.
+
+    The result list is cached on the hierarchy object itself, so its
+    lifetime tracks the hierarchy's and a cached hierarchy reused
+    across benchmark repetitions also reuses its interpolants.
+    """
+    cache: Dict[Tuple[str, float], List[sp.csr_matrix]]
+    cache = getattr(hierarchy, "_pbar_cache", None)  # type: ignore[assignment]
+    if cache is None:
+        cache = {}
+        hierarchy._pbar_cache = cache  # type: ignore[attr-defined]
+    key = (kind, float(weight))
+    got = cache.get(key)
+    if got is None:
+        got = smoothed_interpolants(hierarchy, kind=kind, weight=weight)
+        cache[key] = got
+    return got
+
+
+def clear_setup_cache() -> None:
+    """Drop every memoized hierarchy (tests / memory pressure)."""
+    global _HITS, _MISSES
+    _CACHE.clear()
+    _HITS = 0
+    _MISSES = 0
+
+
+def setup_cache_info() -> Dict[str, int]:
+    """Cache statistics: entries, hits, misses."""
+    return {"entries": len(_CACHE), "hits": _HITS, "misses": _MISSES}

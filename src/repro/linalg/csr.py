@@ -147,20 +147,18 @@ def row_range_matvec(
 
     The partial SpMV a thread performs for its owned row range in the
     global-res algorithm (Algorithm 5, the no-wait GlobalParfor loop).
+
+    Dispatches through :mod:`repro.kernels`: the row-index machinery is
+    precomputed once per ``(matrix, range)`` plan, and when ``out`` is
+    omitted the plan's cached full-length buffer is *borrowed* (zero
+    outside the range, valid until the next borrowing call for the same
+    plan) instead of allocating a fresh ``np.zeros(n)`` per call.
+    Callers that keep the result across calls must pass their own
+    ``out``.
     """
-    n = A.shape[0]
-    if not (0 <= start <= stop <= n):
-        raise ValueError(f"bad row range ({start}, {stop}) for n={n}")
-    if out is None:
-        out = np.zeros(n, dtype=np.float64)
-    if stop > start:
-        lo, hi = A.indptr[start], A.indptr[stop]
-        seg = A.data[lo:hi] * x[A.indices[lo:hi]]
-        local_rows = np.repeat(
-            np.arange(stop - start), np.diff(A.indptr[start : stop + 1])
-        )
-        out[start:stop] = np.bincount(local_rows, weights=seg, minlength=stop - start)
-    return out
+    from .. import kernels
+
+    return kernels.row_range_matvec(A, x, start, stop, out=out)
 
 
 def residual(A: sp.csr_matrix, x: np.ndarray, b: np.ndarray) -> np.ndarray:
@@ -178,8 +176,9 @@ def residual_rows(
 ) -> np.ndarray:
     """Update ``out[start:stop] = (b - A x)[start:stop]`` in place.
 
-    The per-thread slice of the global residual update in global-res.
+    The per-thread slice of the global residual update in global-res
+    (fused product-and-subtract through :mod:`repro.kernels`).
     """
-    row_range_matvec(A, x, start, stop, out=out)
-    np.subtract(b[start:stop], out[start:stop], out=out[start:stop])
-    return out
+    from .. import kernels
+
+    return kernels.residual_rows(A, x, b, start, stop, out)

@@ -32,6 +32,10 @@ kind               meaning of ``a`` / ``b`` / ``tag``
                    (``crash``, ``stall``, ``corrupt``, ``drop``, ...)
 ``msg``            distributed message traffic; ``tag`` =
                    ``send``/``recv``/``drop``, ``a`` = peer rank
+``kernel``         per-kernel timing digest recorded once at run end
+                   (grid −1); ``a`` = accumulated wall seconds, ``b`` =
+                   call count, ``tag`` = kernel name (see
+                   :data:`repro.kernels.KERNEL_NAMES`)
 =================  ====================================================
 
 The ``t`` field follows the recording backend's clock (see the
@@ -55,6 +59,7 @@ __all__ = [
     "GUARD",
     "FAULT",
     "MSG",
+    "KERNEL",
     "EVENT_KINDS",
     "Event",
 ]
@@ -67,6 +72,7 @@ RESIDUAL = "residual"
 GUARD = "guard"
 FAULT = "fault"
 MSG = "msg"
+KERNEL = "kernel"
 
 EVENT_KINDS: Tuple[str, ...] = (
     CORRECT_BEGIN,
@@ -77,6 +83,7 @@ EVENT_KINDS: Tuple[str, ...] = (
     GUARD,
     FAULT,
     MSG,
+    KERNEL,
 )
 
 

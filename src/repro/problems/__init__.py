@@ -16,7 +16,7 @@ Laplace set and a multi-material beam for the elasticity set.  The
 names so benchmarks read like the paper's tables.
 """
 
-from .stencils import laplacian_7pt, laplacian_27pt
+from .stencils import laplacian_5pt, laplacian_7pt, laplacian_27pt
 from .hard_stencils import (
     anisotropic_laplacian_3d,
     convection_diffusion_3d,
@@ -26,6 +26,7 @@ from .rhs import random_rhs
 from .registry import TEST_SETS, TestProblem, build_problem
 
 __all__ = [
+    "laplacian_5pt",
     "laplacian_7pt",
     "laplacian_27pt",
     "anisotropic_laplacian_3d",

@@ -26,6 +26,7 @@ import scipy.sparse as sp
 from ..linalg import as_csr
 
 __all__ = [
+    "laplacian_5pt",
     "laplacian_7pt",
     "laplacian_27pt",
     "laplacian_27pt_fem",
@@ -68,6 +69,20 @@ def mass_1d(n: int, h_scaled: bool = False) -> sp.csr_matrix:
     if h_scaled:
         M = M / (n + 1.0)
     return as_csr(M)
+
+
+def laplacian_5pt(n: int) -> sp.csr_matrix:
+    """5-point 2-D Laplacian on an ``n^2`` interior grid (Dirichlet).
+
+    The standard centred-difference stencil ``[-1; -1, 4, -1; -1]`` —
+    the benchmark workhorse for kernel timing (``n = 256`` gives 65,536
+    rows, large enough that SpMV dominates without the 3-D sets'
+    setup cost).
+    """
+    K = laplacian_1d(n)
+    eye = sp.identity(n, format="csr")
+    A = sp.kron(K, eye) + sp.kron(eye, K)
+    return as_csr(A)
 
 
 def laplacian_7pt(n: int) -> sp.csr_matrix:

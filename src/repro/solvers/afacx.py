@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from .. import kernels
 from ..amg import Hierarchy
 from .base import AdditiveMultigrid
 
@@ -79,22 +80,37 @@ class AFACx(AdditiveMultigrid):
         )
         return sm.sweep(np.zeros_like(rhs), rhs, nsweeps=sweeps)
 
-    def correction(self, k: int, r: np.ndarray) -> np.ndarray:
-        """AFACx correction of grid ``k`` from fine residual ``r``."""
+    def _level_correction(self, k: int, r: np.ndarray) -> np.ndarray:
+        """Grid-``k`` correction ``e_k`` before fine-grid interpolation."""
         hier = self.hierarchy
         ell = hier.coarsest
         r_k = hier.restrict_from_fine(k, r)
         if k == ell:
-            e_k = self.coarse(r_k) if self.exact_coarse else self._smooth_zero_guess(
+            return self.coarse(r_k) if self.exact_coarse else self._smooth_zero_guess(
                 ell, r_k, self.coarse_sweeps
             )
-        else:
-            lv = hier.levels[k]
-            r_k1 = lv.R @ r_k
-            e_k1 = self._smooth_zero_guess(k + 1, r_k1, self.s2)
-            rhs = r_k - lv.A @ (lv.P @ e_k1)
-            e_k = self._smooth_zero_guess(k, rhs, self.s1)
-        return hier.interpolate_to_fine(k, e_k)
+        lv = hier.levels[k]
+        r_k1 = lv.R @ r_k
+        e_k1 = self._smooth_zero_guess(k + 1, r_k1, self.s2)
+        rhs = r_k - lv.A @ (lv.P @ e_k1)
+        return self._smooth_zero_guess(k, rhs, self.s1)
+
+    def correction(self, k: int, r: np.ndarray) -> np.ndarray:
+        """AFACx correction of grid ``k`` from fine residual ``r``."""
+        return self.hierarchy.interpolate_to_fine(k, self._level_correction(k, r))
+
+    def correction_into(
+        self, k: int, r: np.ndarray, out: np.ndarray
+    ) -> np.ndarray:
+        """Accumulating form with the final interpolation factor fused."""
+        e_k = self._level_correction(k, r)
+        if k == 0:
+            out += e_k
+            return out
+        hier = self.hierarchy
+        for j in range(k - 1, 0, -1):
+            e_k = hier.levels[j].P @ e_k
+        return kernels.prolong_add(out, hier.levels[0].P, e_k)
 
     # ------------------------------------------------------------------
     def correction_flops(self, k: int) -> float:

@@ -142,13 +142,27 @@ class AdditiveMultigrid(ABC):
         """
         return self.correction(k, b - self.A @ x)
 
+    def correction_into(
+        self, k: int, r: np.ndarray, out: np.ndarray
+    ) -> np.ndarray:
+        """Accumulate grid ``k``'s correction: ``out += correction(k, r)``.
+
+        Subclasses fuse the final fine-grid prolongation through
+        :func:`repro.kernels.prolong_add`, so accumulating a correction
+        skips the full-length temporary the generic form allocates.
+        Bit-identical to ``out += self.correction(k, r)`` under the
+        numpy kernel backend.
+        """
+        out += self.correction(k, r)
+        return out
+
     # ------------------------------------------------------------------
     def cycle(self, x: np.ndarray, b: np.ndarray) -> np.ndarray:
         """One synchronous additive cycle (all grids, one fresh residual)."""
         r = b - self.A @ x
         out = np.array(x, copy=True)
         for k in range(self.ngrids):
-            out += self.correction(k, r)
+            self.correction_into(k, r, out)
         return out
 
     def solve(

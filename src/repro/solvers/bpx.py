@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from .. import kernels
 from ..amg import Hierarchy
 from .base import AdditiveMultigrid
 
@@ -38,11 +39,28 @@ class BPX(AdditiveMultigrid):
             raise ValueError("scale must be positive")
         self.scale = float(scale)
 
+    def _level_correction(self, k: int, r: np.ndarray) -> np.ndarray:
+        c = self.hierarchy.restrict_from_fine(k, r)
+        return self.coarse(c) if k == self.hierarchy.coarsest else self.smoothers[k].minv(c)
+
     def correction(self, k: int, r: np.ndarray) -> np.ndarray:
         """``scale * P_k^0 Lambda_k (P_k^0)^T r``."""
-        c = self.hierarchy.restrict_from_fine(k, r)
-        d = self.coarse(c) if k == self.hierarchy.coarsest else self.smoothers[k].minv(c)
+        d = self._level_correction(k, r)
         return self.scale * self.hierarchy.interpolate_to_fine(k, d)
+
+    def correction_into(
+        self, k: int, r: np.ndarray, out: np.ndarray
+    ) -> np.ndarray:
+        """Accumulating form: the final factor is a fused scaled
+        prolong-add (``scale`` rides along as the omega weight)."""
+        d = self._level_correction(k, r)
+        if k == 0:
+            out += self.scale * d
+            return out
+        hier = self.hierarchy
+        for j in range(k - 1, 0, -1):
+            d = hier.levels[j].P @ d
+        return kernels.prolong_add(out, hier.levels[0].P, d, omega=self.scale)
 
     def correction_flops(self, k: int) -> float:
         total = 0.0

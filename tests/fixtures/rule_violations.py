@@ -68,3 +68,18 @@ def rpr006_hot_path_emission(corrections):
     while corrections:
         logging.info("still going")
         corrections.pop()
+
+
+def rpr007_hot_loop_allocation(A, xs, n):
+    # RPR007: per-iteration O(n) allocation / format conversion.
+    acc = np.zeros(n)
+    for x in xs:
+        out = np.zeros(n)
+        rows = np.repeat(np.arange(n), 2)
+        acc += out[rows[:n]]
+    while n > 0:
+        tmp = np.empty(n)
+        B = A.tocsr()
+        acc[:n] += tmp + B.diagonal()[:n]
+        n -= 1
+    return acc

@@ -7,7 +7,15 @@ import pytest
 from repro.analysis import ALL_RULES, lint_source, run_linter, rule_by_code
 
 FIXTURE = Path(__file__).parent / "fixtures" / "rule_violations.py"
-ALL_CODES = ("RPR001", "RPR002", "RPR003", "RPR004", "RPR005", "RPR006")
+ALL_CODES = (
+    "RPR001",
+    "RPR002",
+    "RPR003",
+    "RPR004",
+    "RPR005",
+    "RPR006",
+    "RPR007",
+)
 
 
 def lint_fixture(**kwargs):
@@ -75,6 +83,39 @@ class TestFixtureViolations:
         source = "print('run header')\nfor i in range(3):\n    x = i\n"
         active, _ = lint_source(source, "core/engine.py")
         assert not any(f.code == "RPR006" for f in active)
+
+    def test_rpr007_constructors_and_conversion(self):
+        active, _ = lint_fixture()
+        msgs = [f.message for f in active if f.code == "RPR007"]
+        # for-loop: zeros, repeat, arange; while-loop: empty, tocsr.
+        assert len(msgs) == 5
+        assert any("np.zeros()" in m for m in msgs)
+        assert any("np.repeat()" in m for m in msgs)
+        assert any("np.arange()" in m for m in msgs)
+        assert any("np.empty()" in m for m in msgs)
+        assert any(".tocsr()" in m for m in msgs)
+
+    def test_rpr007_ignores_hoisted_allocation(self):
+        source = (
+            "import numpy as np\n"
+            "buf = np.zeros(100)\n"
+            "for i in range(3):\n"
+            "    buf[i] = i\n"
+        )
+        active, _ = lint_source(source, "core/engine.py")
+        assert not any(f.code == "RPR007" for f in active)
+
+    def test_rpr007_scoped_to_executors(self):
+        source = "import numpy as np\nfor i in range(3):\n    v = np.zeros(8)\n"
+        active, _ = lint_source(source, "solvers/multadd.py")
+        assert not any(f.code == "RPR007" for f in active)
+        active, _ = lint_source(source, "distributed/simulator.py")
+        assert any(f.code == "RPR007" for f in active)
+
+    def test_rpr007_tracks_numpy_alias(self):
+        source = "import numpy\nwhile True:\n    v = numpy.empty(8)\n"
+        active, _ = lint_source(source, "core/threaded.py")
+        assert any(f.code == "RPR007" for f in active)
 
     def test_findings_carry_hint_and_location(self):
         active, _ = lint_fixture()

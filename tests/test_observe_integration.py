@@ -33,8 +33,17 @@ class TestEngineTracing:
         _, t1 = engine_events(solver, b_7pt)
         _, t2 = engine_events(solver, b_7pt)
         e1, e2 = t1.events(), t2.events()
-        assert e1 == e2
-        assert len(e1) > 0
+        # The algorithmic stream is bit-identical; per-kernel timing
+        # events carry measured wall seconds (field `a`), so they are
+        # compared modulo the measured duration.
+        algo1 = [e for e in e1 if e.kind != "kernel"]
+        algo2 = [e for e in e2 if e.kind != "kernel"]
+        assert algo1 == algo2
+        assert len(algo1) > 0
+        k1 = [(e.t, e.grid, e.b, e.tag) for e in e1 if e.kind == "kernel"]
+        k2 = [(e.t, e.grid, e.b, e.tag) for e in e2 if e.kind == "kernel"]
+        assert k1 == k2
+        assert len(k1) > 0
 
     def test_counts_match_result(self, solver, b_7pt):
         res, tracer = engine_events(solver, b_7pt)
@@ -144,7 +153,14 @@ class TestDistributedTracing:
         t1, t2 = Tracer(clock="sim"), Tracer(clock="sim")
         simulate_distributed(solver, b_7pt, tmax=5, seed=11, tracer=t1)
         simulate_distributed(solver, b_7pt, tmax=5, seed=11, tracer=t2)
-        assert t1.events() == t2.events()
+        # Algorithmic stream is deterministic; `kernel` timing events
+        # carry measured wall seconds (field `a`), compared without it.
+        algo1 = [e for e in t1.events() if e.kind != "kernel"]
+        algo2 = [e for e in t2.events() if e.kind != "kernel"]
+        assert algo1 == algo2
+        k1 = [(e.t, e.grid, e.b, e.tag) for e in t1.events() if e.kind == "kernel"]
+        k2 = [(e.t, e.grid, e.b, e.tag) for e in t2.events() if e.kind == "kernel"]
+        assert k1 == k2
 
     def test_message_events_present(self, run):
         _, tracer = run

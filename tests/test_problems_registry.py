@@ -16,11 +16,25 @@ class TestRegistry:
             assert p.b.shape == (p.n,)
 
     def test_paper_names(self):
-        assert set(TEST_SETS) == {"7pt", "27pt", "mfem_laplace", "mfem_elasticity"}
+        # The paper's four Table-I sets plus the 2-D kernel-benchmark set.
+        assert set(TEST_SETS) == {
+            "5pt",
+            "7pt",
+            "27pt",
+            "mfem_laplace",
+            "mfem_elasticity",
+        }
 
     def test_unknown_raises(self):
         with pytest.raises(KeyError):
-            build_problem("5pt", 10)
+            build_problem("9pt", 10)
+
+    def test_5pt_dimensions(self):
+        p = build_problem("5pt", 16)
+        assert p.n == 256
+        # interior rows carry 5 nonzeros: nnz = 5n^2 - 4n for grid length n
+        assert p.nnz == 5 * 256 - 4 * 16
+        assert p.jacobi_weight == 0.9
 
     def test_weights_match_paper(self):
         assert build_problem("7pt", 4).jacobi_weight == 0.9
