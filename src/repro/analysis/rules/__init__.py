@@ -77,6 +77,7 @@ def _collect_rules() -> List[Rule]:
     from .hot_alloc import HotLoopAllocationRule
     from .hot_path import HotPathEmissionRule
     from .lock_order import LockOrderRule
+    from .membership import MembershipTransitionRule
     from .result_contract import ResultContractRule
     from .rng import SeededRngRule
     from .shared_writes import SharedWriteDisciplineRule
@@ -90,6 +91,7 @@ def _collect_rules() -> List[Rule]:
         ResultContractRule,
         HotPathEmissionRule,
         HotLoopAllocationRule,
+        MembershipTransitionRule,
     ]
     rules = [cls() for cls in classes]
     codes = [r.code for r in rules]

@@ -56,7 +56,12 @@ from .core import (
     simulate_semi_async,
 )
 from .core import run_threaded
-from .distributed import NetworkModel, simulate_distributed
+from .distributed import (
+    ElasticityPolicy,
+    NetworkModel,
+    parse_churn_spec,
+    simulate_distributed,
+)
 from .experiments import TABLE1_METHODS, paper_hierarchy, table1_entry
 from .problems import TEST_SETS, build_problem
 from .resilience import GuardPolicy, parse_fault_spec
@@ -146,6 +151,23 @@ def _cmd_solve(args) -> int:
     if (faults is not None or guard is not None) and not args.run_async:
         print("error: --faults/--guards require --run-async", file=sys.stderr)
         return 2
+    elastic_requested = bool(
+        args.elastic or args.churn is not None or args.ranks is not None
+    )
+    if elastic_requested and not (args.run_async and args.backend == "distributed"):
+        print(
+            "error: --elastic/--churn/--ranks require --run-async "
+            "--backend distributed",
+            file=sys.stderr,
+        )
+        return 2
+    churn = None
+    if args.churn is not None:
+        try:
+            churn = parse_churn_spec(args.churn)
+        except ValueError as exc:
+            print(f"error: bad --churn spec: {exc}", file=sys.stderr)
+            return 2
     trace_path = getattr(args, "trace", None)
     if trace_path and not args.run_async:
         print("error: --trace requires --run-async", file=sys.stderr)
@@ -161,20 +183,25 @@ def _cmd_solve(args) -> int:
             tracer = Tracer(clock=_BACKEND_CLOCK[args.backend])
         try:
             res, label = _dispatch_async(
-                args, solver, problem, faults, guard, tracer=tracer
+                args, solver, problem, faults, guard, tracer=tracer, churn=churn
             )
         except ValueError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
         stalled = getattr(res, "stalled", False)
+        degraded = getattr(res, "degraded", False)
+        deg_txt = f"degraded = {degraded}, " if elastic_requested else ""
         print(
             f"{label}: relres = {res.rel_residual:.6e}, "
             f"corrects = {res.corrects:.1f}, diverged = {res.diverged}, "
-            f"stalled = {stalled} "
+            f"{deg_txt}stalled = {stalled} "
             f"[kernels: {getattr(res, 'kernel_backend', kernels.current_backend())}]"
         )
         if faults is not None or guard is not None:
             print(f"faults/guards: {res.telemetry.summary()}")
+        if elastic_requested and getattr(res, "membership", None):
+            census = ", ".join(f"{k}={v}" for k, v in res.membership.items() if v)
+            print(f"membership: {census}")
         if tracer is not None:
             from .observe import write_events_jsonl
 
@@ -205,7 +232,7 @@ def _cmd_solve(args) -> int:
     return 0
 
 
-def _dispatch_async(args, solver, problem, faults, guard, tracer=None):
+def _dispatch_async(args, solver, problem, faults, guard, tracer=None, churn=None):
     """Run the chosen async backend; returns (result, display label)."""
     if args.backend == "engine":
         res = run_async_engine(
@@ -239,6 +266,9 @@ def _dispatch_async(args, solver, problem, faults, guard, tracer=None):
         )
         label = f"threaded {args.method} ({args.rescomp}-res, {args.write}-write, {args.criterion})"
     else:  # distributed
+        elastic = None
+        if args.elastic or churn is not None or args.ranks is not None:
+            elastic = ElasticityPolicy(seed=args.seed)
         res = simulate_distributed(
             solver,
             problem.b,
@@ -251,6 +281,9 @@ def _dispatch_async(args, solver, problem, faults, guard, tracer=None):
             guard=guard,
             tracer=tracer,
             track_trace=tracer is not None,
+            elastic=elastic,
+            churn=churn,
+            nranks=args.ranks,
         )
         label = f"distributed {args.method} ({res.strategy}-res, {args.criterion})"
     return res, label
@@ -376,6 +409,31 @@ def _add_solve_args(p: argparse.ArgumentParser) -> None:
         help="select the repro.kernels backend for this run "
         "(auto/numpy/numba/naive; default: keep the REPRO_KERNELS "
         "environment selection)",
+    )
+    p.add_argument(
+        "--elastic",
+        action=argparse.BooleanOptionalAction,
+        default=False,
+        help="enable elastic rank membership on the distributed backend "
+        "(heartbeat failure detection, incremental repartitioning, "
+        "degraded-instead-of-failed completion)",
+    )
+    p.add_argument(
+        "--ranks",
+        type=int,
+        default=None,
+        metavar="N",
+        help="simulated rank-pool size for --elastic (default: the "
+        "thread total)",
+    )
+    p.add_argument(
+        "--churn",
+        default=None,
+        metavar="SPEC",
+        help="rank-churn spec for --elastic, e.g. "
+        "'crash:3@0.5;stall:1@0.2,duration=0.3;join:@1.0' or "
+        "'random:0.1@2.0,nranks=40,seed=1' "
+        "(kinds: crash, stall, join, leave, random)",
     )
 
 

@@ -26,9 +26,34 @@ The simulator reports the same quantities as the shared-memory engines
 (final relative residual, per-grid corrections, simulated wall-clock),
 so benchmarks can put the paper's distributed-memory conjecture on the
 same axes as its shared-memory results.
+
+Elastic membership (:mod:`repro.distributed.elastic`) removes the
+fixed-worker-set assumption: a pool of simulated ranks staffs the grid
+processes, churn plans crash/stall/join/leave ranks mid-run, failures
+are detected by heartbeat silence, and work is re-partitioned over the
+survivors so the solve finishes *degraded* instead of failing.
 """
 
+from .elastic import (
+    ChurnEvent,
+    ChurnPlan,
+    ElasticityPolicy,
+    MembershipManager,
+    parse_churn_spec,
+)
+from .events import DedupIndex, IndexedEventQueue
 from .network import NetworkModel
 from .simulator import DistributedResult, simulate_distributed
 
-__all__ = ["NetworkModel", "DistributedResult", "simulate_distributed"]
+__all__ = [
+    "NetworkModel",
+    "DistributedResult",
+    "simulate_distributed",
+    "ChurnEvent",
+    "ChurnPlan",
+    "ElasticityPolicy",
+    "MembershipManager",
+    "parse_churn_spec",
+    "DedupIndex",
+    "IndexedEventQueue",
+]

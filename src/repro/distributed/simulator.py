@@ -41,14 +41,30 @@ Faults and recovery are first-class events (``faults=`` /
   increment is applied twice and silently corrupts the replica;
 - **corrupted corrections** (NaN/Inf/scaled entries) are screened by
   the guard before they touch the true iterate or any message.
+
+Elastic membership (``elastic=`` / ``churn=`` / ``nranks=``, see
+:mod:`repro.distributed.elastic`) replaces the fixed worker set with a
+pool of ``nranks`` simulated ranks backing the grid processes.  Churn
+events (rank crash / stall / cold join / graceful leave) are
+first-class simulator events; failures are detected by heartbeat
+silence (never by omniscient crash knowledge), work is re-partitioned
+incrementally over the believed-alive ranks, revived grids receive a
+checkpoint **handoff**, and a solve that lost capacity finishes
+**degraded** rather than failed.  The event loop runs on an
+:class:`~repro.distributed.events.IndexedEventQueue` (O(1) interior
+cancellation — a dead team's in-flight correction dies with it) and a
+:class:`~repro.distributed.events.DedupIndex`; per-rank state is
+vectorised numpy, so churn runs at 1k+ ranks complete in seconds.  A
+churn-free elastic run is bit-identical to a plain run under the same
+seeds: membership draws come from private streams and heartbeat scans
+touch neither the compute-jitter RNG nor the event budget.
 """
 
 from __future__ import annotations
 
-import heapq
 import itertools
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -57,6 +73,8 @@ from ..core.perfmodel import MachineParams
 from ..linalg import two_norm
 from ..partition import partition_threads
 from ..resilience import FaultInjector, FaultPlan, FaultTelemetry, Guard, GuardPolicy
+from .elastic import ChurnPlan, ElasticityPolicy, MembershipManager
+from .events import DedupIndex, EventHandle, IndexedEventQueue
 from .network import NetworkModel
 
 if TYPE_CHECKING:  # runtime import would cycle through repro.observe
@@ -65,6 +83,12 @@ if TYPE_CHECKING:  # runtime import would cycle through repro.observe
 __all__ = ["DistributedResult", "simulate_distributed"]
 
 _STRATEGIES = ("global", "local")
+
+# Kinds that represent solve/recovery activity and therefore advance the
+# reported wall clock.  Heartbeat scans and not-yet-applied churn are
+# bookkeeping: a churn event scheduled long after convergence must not
+# inflate ``wall_time``.
+_WALL_KINDS = frozenset(("done", "msg", "restart", "retransmit", "sync"))
 
 
 @dataclass
@@ -87,8 +111,20 @@ class DistributedResult:
     """True when the run ended (event budget or drained queue) without
     every process reaching ``tmax`` — e.g. a crashed process with no
     restart budget."""
+    degraded: bool = False
+    """Elastic runs only: the solve *finished* (converged residual, no
+    divergence, no stall) but at reduced strength — believed membership
+    ended below the initial rank pool and/or parked grids contributed
+    fewer than ``tmax`` corrections.  Degraded is success with a
+    footnote, not failure."""
+    nranks: int = 0
+    """Initial simulated rank-pool size (0 for non-elastic runs)."""
     telemetry: FaultTelemetry = field(default_factory=FaultTelemetry)
     """Injected-fault and guard-action counters (zero when fault-free)."""
+    membership: Dict[str, int] = field(default_factory=dict)
+    """Final membership census of an elastic run (empty otherwise):
+    per-state head-counts plus ``initial_ranks`` / ``physically_alive``
+    / ``parked_grids``."""
     residual_trace: List[tuple] = field(default_factory=list)
     """``(sim_time, rel_residual)`` samples taken at each correction."""
     activity_trace: List[tuple] = field(default_factory=list)
@@ -121,6 +157,9 @@ def simulate_distributed(
     faults: Optional[FaultPlan] = None,
     guard: Optional[GuardPolicy] = None,
     tracer: Optional["Tracer"] = None,
+    elastic: Optional[ElasticityPolicy] = None,
+    churn: Optional[ChurnPlan] = None,
+    nranks: Optional[int] = None,
 ) -> DistributedResult:
     """Simulate distributed asynchronous additive multigrid.
 
@@ -140,7 +179,8 @@ def simulate_distributed(
     criterion:
         ``"criterion1"`` — each process stops after ``tmax`` own
         corrections; ``"criterion2"`` — processes keep correcting
-        until every process reached ``tmax``.
+        until every process reached ``tmax`` (elastic runs exempt
+        *parked* grids, else a churn loss would hang the run).
     faults:
         Optional :class:`~repro.resilience.FaultPlan`; crash/stall
         times are simulated seconds, message faults apply per
@@ -157,6 +197,15 @@ def simulate_distributed(
         correction / staleness / guard / fault vocabulary, and the
         digest lands on ``result.trace_summary``.  Like the engine, a
         fixed seed reproduces the event stream exactly.
+    elastic / churn / nranks:
+        Elastic membership (see :mod:`repro.distributed.elastic`).
+        Passing any of the three enables the rank-pool model:
+        ``nranks`` simulated ranks (default ``nthreads_total``) staff
+        the grid processes via :func:`repro.partition.partition_ranks`;
+        ``churn`` schedules rank crash/stall/join/leave events; the
+        :class:`~repro.distributed.elastic.ElasticityPolicy` sets
+        heartbeat cadence and suspicion/eviction timeouts.  Without
+        churn the elastic run is bit-identical to a plain run.
     """
     if strategy not in _STRATEGIES:
         raise ValueError(f"strategy must be one of {_STRATEGIES}")
@@ -170,6 +219,14 @@ def simulate_distributed(
     ngrids = solver.ngrids
     groups = partition_threads(solver.work_per_grid(), nthreads_total)
     rates = mach.flop_rate * groups.astype(np.float64)
+
+    elastic_on = (
+        elastic is not None or nranks is not None or (churn is not None and churn.active)
+    )
+    pol = elastic if elastic is not None else ElasticityPolicy(seed=seed)
+    nranks_val = int(nranks) if nranks is not None else nthreads_total
+    if elastic_on and nranks_val < 1:
+        raise ValueError("nranks must be >= 1")
 
     b = np.asarray(b, dtype=np.float64)
     nb = two_norm(b) or 1.0
@@ -187,35 +244,54 @@ def simulate_distributed(
         else None
     )
     grd = Guard(guard, nb, telemetry) if guard is not None else None
+    # All liveness state — the plain path's grid crash flags and the
+    # elastic path's per-rank membership arrays — lives behind the
+    # MembershipManager (sole mutator; linter rule RPR008).
+    mm = MembershipManager(
+        ngrids,
+        nranks=nranks_val if elastic_on else 0,
+        work=solver.work_per_grid() if elastic_on else None,
+        policy=pol,
+        telemetry=telemetry,
+        tracer=tracer,
+    )
 
     counts = np.zeros(ngrids, dtype=np.int64)
-    crashed = [False] * ngrids
     msg_bytes = 8.0 * n
     flops_total = 0.0
     messages = 0
     dropped = 0
     trace: List[tuple] = []
 
-    def correction_duration(k: int) -> Tuple[float, float]:
+    def correction_duration(k: int, t: float) -> Tuple[float, float]:
         flops = solver.correction_flops(k)
         if strategy == "local":
             flops += solver.residual_flops()
         else:
             flops += 2.0 * A.nnz  # forming the -A e increment
         jit = 1.0 + abs(float(rng.normal(0.0, mach.jitter))) if mach.jitter else 1.0
-        return flops / rates[k] * jit, flops
+        # Elastic rate = one rank-worth of throughput per live, unstalled
+        # team member; churn-free this equals the static partition, so
+        # the computed duration is bit-identical to the plain path.
+        rate = mach.flop_rate * float(mm.capacity(k, t)) if elastic_on else rates[k]
+        return flops / rate * jit, flops
 
     def all_done() -> bool:
+        if elastic_on:
+            # Parked grids (no assigned ranks) cannot correct; waiting
+            # on them would hang criterion2 forever after a churn loss.
+            return bool(np.all((counts >= tmax) | ~mm.staffed()))
         return bool(np.all(counts >= tmax))
 
-    # Event queue: (time, seq, kind, proc, payload)
-    seq = itertools.count()
+    q = IndexedEventQueue()
     msg_ids = itertools.count()
-    heap: List[tuple] = []
 
     activity: List[tuple] = []
     # Sequence-number dedup (guard): message ids each process applied.
-    seen: List[set] = [set() for _ in range(ngrids)]
+    dedup = DedupIndex(ngrids)
+    # In-flight "done" event handle per grid — cancelled when churn
+    # kills the whole team backing the grid mid-correction.
+    inflight: List[Optional[EventHandle]] = [None] * ngrids
     # Tracing state: commit epochs count "done" events on the true
     # iterate; a process's staleness is the epochs committed between
     # its replica read (start_compute) and its own commit.
@@ -227,9 +303,11 @@ def simulate_distributed(
         """One transmission attempt; drops trigger retransmission when
         the guard allows, with exponential backoff."""
         nonlocal messages, dropped
+        telemetry.bump("messages_sent")
         lost = net.dropped() or (injector is not None and injector.message_dropped())
         if lost:
             dropped += 1
+            telemetry.bump("messages_dropped")
             if tracer is not None:
                 tracer.record("msg", dst, t, float(mid), float(src), "drop")
             if (
@@ -238,11 +316,14 @@ def simulate_distributed(
                 and attempt < guard.max_retransmits
             ):
                 backoff = guard.retransmit_timeout * (2.0**attempt)
-                heapq.heappush(
-                    heap,
-                    (t + backoff, next(seq), "retransmit", dst, (src, vec, mid, attempt + 1)),
-                )
+                if elastic_on:
+                    backoff *= mm.retry_backoff_factor()
+                q.push(t + backoff, "retransmit", dst, (src, vec, mid, attempt + 1))
                 telemetry.bump("retransmissions")
+                if tracer is not None:
+                    tracer.record(
+                        "retry", dst, t, float(mid), backoff, f"a{attempt + 1}"
+                    )
             else:
                 telemetry.bump("messages_lost")
             return
@@ -253,17 +334,25 @@ def simulate_distributed(
                 lat *= factor
                 telemetry.bump("messages_delayed")
         arr = t + lat
-        heapq.heappush(heap, (arr, next(seq), "msg", dst, (src, mid, vec)))
+        q.push(arr, "msg", dst, (src, mid, vec))
         messages += 1
+        telemetry.bump("messages_delivered")
+        telemetry.record_delivery(attempt + 1)
         if tracer is not None:
             tracer.record("msg", src, t, float(mid), float(dst), "send")
         if injector is not None and injector.message_duplicated():
-            heapq.heappush(
-                heap, (arr + net.link_latency(src, dst), next(seq), "msg", dst, (src, mid, vec))
-            )
+            q.push(arr + net.link_latency(src, dst), "msg", dst, (src, mid, vec))
             telemetry.bump("messages_duplicated")
 
     def start_compute(k: int, t: float) -> None:
+        if elastic_on and mm.capacity(k, t) == 0:
+            # No live, unstalled rank backs this grid right now.  If
+            # members are merely stalled, retry when the first returns;
+            # a fully-dead team waits for a repartition handoff.
+            nse = mm.next_stall_end(k, t)
+            if nse is not None:
+                q.push(nse, "wake", k, None)
+            return
         if strategy == "global":
             r_in = replicas[k].copy()
         else:
@@ -279,7 +368,7 @@ def simulate_distributed(
             tracer.record("read", k, t, float(commit_epoch), 0.0, read_tag)
             tracer.record("correct_begin", k, t, float(counts[k]) + 1.0)
         e = solver.correction(k, r_in)
-        dur, flops = correction_duration(k)
+        dur, flops = correction_duration(k, t)
         if injector is not None:
             stall = injector.stall_due(k, int(counts[k]))
             if stall is not None:
@@ -287,21 +376,45 @@ def simulate_distributed(
                 telemetry.bump("injected_stalls")
                 if tracer is not None:
                     tracer.record("fault", k, t, float(stall), tag="stall")
-        heapq.heappush(heap, (t + dur, next(seq), "done", k, e))
+        inflight[k] = q.push(t + dur, "done", k, e)
         activity.append((k, t, t + dur))
         nonlocal flops_total
         flops_total += flops
 
     def resync_replica(k: int) -> None:
-        """Restart re-sync: fetch a consistent view of the current
-        state (modeled as a checkpoint transfer from a peer)."""
+        """Restart/handoff re-sync: fetch a consistent view of the
+        current state (modeled as a checkpoint transfer from a peer)."""
         if strategy == "global":
             replicas[k] = b - A @ x_true
         else:
             replicas[k] = x_true.copy()
 
+    def do_repartition(t: float) -> None:
+        """Re-spread believed membership; cancel work on grids that
+        lost their whole team and schedule checkpoint handoffs for
+        grids gaining a fresh one."""
+        teams, handoffs = mm.repartition(t)
+        for g in range(ngrids):
+            if teams[g] == 0 and inflight[g] is not None:
+                q.cancel(inflight[g])
+                inflight[g] = None
+        for g in handoffs:
+            if mm.grid_down[g]:
+                continue
+            peer = (g + 1) % ngrids
+            dt = net.transfer_time(peer, g, msg_bytes * pol.handoff_bytes_factor)
+            telemetry.bump("handoffs")
+            if tracer is not None:
+                tracer.record("member", g, t, dt, 0.0, "handoff")
+            q.push(t + dt, "sync", g, None)
+
     for k in range(ngrids):
         start_compute(k, 0.0)
+    if churn is not None:
+        for ev in churn.events:
+            q.push(ev.t, "churn", ev.rank, ev)
+    if elastic_on:
+        q.push(pol.heartbeat_interval, "hb", -1, None)
 
     # Cached zero correction for guard-rejected updates (read-only by
     # construction — it is added to the iterate and shipped in
@@ -319,17 +432,23 @@ def simulate_distributed(
     events = 0
     diverged = False
     stalled = False
-    while heap and not diverged:
-        t, _, kind, proc, payload = heapq.heappop(heap)
-        wall = max(wall, t)
-        events += 1
+    while q and not diverged:
+        t, kind, proc, payload = q.pop()
+        if kind in _WALL_KINDS:
+            wall = max(wall, t)
+        if kind != "hb":
+            # Heartbeat scans are membership bookkeeping, not solve
+            # events: exempting them keeps the budget — and therefore a
+            # churn-free elastic run — identical to the plain path.
+            events += 1
         if events > max_events:
-            if injector is not None:
+            if injector is not None or elastic_on:
                 stalled = True
                 break
             raise RuntimeError("distributed simulation exceeded event budget")
         if kind == "done":
-            if crashed[proc]:
+            inflight[proc] = None
+            if mm.grid_down[proc]:
                 continue  # stale event from before a crash (defensive)
             e = payload
             if injector is not None:
@@ -390,7 +509,7 @@ def simulate_distributed(
                 if action == "rollback":
                     x_true = x_restore
                     for j in range(ngrids):
-                        if not crashed[j]:
+                        if not mm.grid_down[j]:
                             resync_replica(j)
                     unhealthy = False
             if unhealthy:
@@ -402,7 +521,7 @@ def simulate_distributed(
                             tracer.record("guard", proc, t, tag="rollback")
                         x_true = x_restore
                         for j in range(ngrids):
-                            if not crashed[j]:
+                            if not mm.grid_down[j]:
                                 resync_replica(j)
                         recovered = True
                 if not recovered:
@@ -410,7 +529,7 @@ def simulate_distributed(
                     continue
             # --- fail-stop crash at the correction boundary ----------
             if injector is not None and injector.crash_due(proc, int(counts[proc])):
-                crashed[proc] = True
+                mm.mark_grid_down(proc)
                 telemetry.bump("injected_crashes")
                 if tracer is not None:
                     tracer.record("fault", proc, t, tag="crash")
@@ -424,7 +543,7 @@ def simulate_distributed(
                         tracer.record(
                             "guard", proc, t + guard.watchdog_timeout, tag="watchdog"
                         )
-                    heapq.heappush(heap, (t_up, next(seq), "restart", proc, None))
+                    q.push(t_up, "restart", proc, None)
                 continue
             keep_going = (
                 counts[proc] < tmax if criterion == "criterion1" else not all_done()
@@ -432,14 +551,14 @@ def simulate_distributed(
             if keep_going:
                 start_compute(proc, t)
         elif kind == "restart":
-            crashed[proc] = False
+            mm.mark_grid_up(proc)
             if tracer is not None:
                 tracer.record("guard", proc, t, tag="restart")
             # Replica re-sync: one state transfer from a peer.
             peer = (proc + 1) % ngrids
             t_sync = t + net.transfer_time(peer, proc, msg_bytes)
             resync_replica(proc)
-            seen[proc].clear()
+            dedup.clear_rank(proc)
             keep_going = (
                 counts[proc] < tmax if criterion == "criterion1" else not all_done()
             )
@@ -448,26 +567,99 @@ def simulate_distributed(
         elif kind == "retransmit":
             src, vec, mid, attempt = payload
             transmit(src, proc, vec, t, mid, attempt)
+        elif kind == "churn":
+            ev = payload
+            g_prev = (
+                int(mm.rank_grid[ev.rank])
+                if 0 <= ev.rank < mm.rank_grid.size
+                else -1
+            )
+            changed = mm.apply_churn(ev, t)
+            if (
+                ev.kind in ("crash", "leave")
+                and g_prev >= 0
+                and mm.capacity(g_prev, t) == 0
+            ):
+                # The whole team backing g_prev is gone — its in-flight
+                # correction dies with it (this is the cancellation the
+                # indexed queue exists for).  Survivors merely stalled
+                # get a wake-up at the earliest stall end.
+                if inflight[g_prev] is not None:
+                    q.cancel(inflight[g_prev])
+                    inflight[g_prev] = None
+                nse = mm.next_stall_end(g_prev, t)
+                if nse is not None:
+                    q.push(nse, "wake", g_prev, None)
+            if changed:  # announced (graceful) departures repartition now
+                do_repartition(t)
+        elif kind == "hb":
+            if mm.scan(t):
+                do_repartition(t)
+            if mm.below_min:
+                stalled = True
+                break
+            if q.pending() - q.pending("hb") > 0:
+                # Keep scanning only while solve/churn events remain;
+                # otherwise let the queue drain so the run terminates.
+                q.push(t + pol.heartbeat_interval, "hb", -1, None)
+        elif kind == "wake":
+            if mm.grid_down[proc] or inflight[proc] is not None:
+                continue
+            keep_going = (
+                counts[proc] < tmax if criterion == "criterion1" else not all_done()
+            )
+            if keep_going:
+                start_compute(proc, t)
+        elif kind == "sync":
+            # Checkpoint handoff landed: the grid's fresh team starts
+            # from a consistent snapshot; old message ids are moot.
+            if mm.grid_down[proc] or inflight[proc] is not None:
+                continue
+            resync_replica(proc)
+            dedup.clear_rank(proc)
+            if tracer is not None:
+                tracer.record("guard", proc, t, tag="restart")
+            keep_going = (
+                counts[proc] < tmax if criterion == "criterion1" else not all_done()
+            )
+            if keep_going:
+                start_compute(proc, t)
         else:  # msg
-            if crashed[proc]:
+            if mm.grid_down[proc]:
                 continue  # delivered to a dead process
             src, mid, vec = payload
             if grd is not None and guard.dedup_messages:
-                if mid in seen[proc]:
+                if not dedup.first_delivery(proc, mid):
                     telemetry.bump("duplicates_discarded")
                     if tracer is not None:
                         tracer.record("msg", proc, t, float(mid), float(src), "dup")
                     continue
-                seen[proc].add(mid)
             if tracer is not None:
                 tracer.record("msg", proc, t, float(mid), float(src), "recv")
             replicas[proc] += vec
 
     rel = kernels.residual_norm(A, x_true, b) / nb
     diverged = bool(diverged or not np.isfinite(rel) or rel > divergence_threshold)
-    if injector is not None and not diverged and not all_done():
+    if (injector is not None or elastic_on) and not diverged and not all_done():
         stalled = True
     stalled = stalled and not diverged
+    membership: Dict[str, int] = {}
+    degraded = False
+    if elastic_on:
+        membership = mm.census()
+        # Degraded = the run finished below its commissioned strength:
+        # fewer ranks physically alive (even if detection lagged), fewer
+        # believed alive, or grids that contributed under-quota because
+        # they spent time parked.
+        degraded = bool(
+            not diverged
+            and not stalled
+            and (
+                membership["physically_alive"] < mm.nranks0
+                or mm.believed_ranks() < mm.nranks0
+                or bool(np.any(counts < tmax))
+            )
+        )
     if tracer is not None:
         for kname, (calls, secs) in sorted(kernels.stats_delta(kstats0).items()):
             tracer.record("kernel", -1, wall, float(secs), float(calls), kname)
@@ -482,7 +674,10 @@ def simulate_distributed(
         dropped=dropped,
         diverged=diverged,
         stalled=stalled,
+        degraded=degraded,
+        nranks=nranks_val if elastic_on else 0,
         telemetry=telemetry,
+        membership=membership,
         flops_total=flops_total,
         residual_trace=trace,
         activity_trace=activity,

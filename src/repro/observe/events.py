@@ -32,6 +32,18 @@ kind               meaning of ``a`` / ``b`` / ``tag``
                    (``crash``, ``stall``, ``corrupt``, ``drop``, ...)
 ``msg``            distributed message traffic; ``tag`` =
                    ``send``/``recv``/``drop``, ``a`` = peer rank
+``member``         an elastic-membership transition (distributed
+                   simulator); ``tag`` names it (``join``, ``suspect``,
+                   ``evict``, ``recover``, ``leave``, ``crash``,
+                   ``stall``, ``repartition``, ``handoff``); for rank
+                   transitions ``grid`` is the *rank* id and ``a`` the
+                   grid it was assigned to (−1 when unassigned), for
+                   ``repartition`` ``a`` = assignable ranks and ``b`` =
+                   staffed grids, for ``handoff`` ``a`` = checkpoint
+                   transfer seconds
+``retry``          a dropped transmission was rescheduled with backoff;
+                   ``a`` = message id, ``b`` = backoff delay, ``tag`` =
+                   attempt number (``"a1"``, ``"a2"``, ...)
 ``kernel``         per-kernel timing digest recorded once at run end
                    (grid −1); ``a`` = accumulated wall seconds, ``b`` =
                    call count, ``tag`` = kernel name (see
@@ -59,6 +71,8 @@ __all__ = [
     "GUARD",
     "FAULT",
     "MSG",
+    "MEMBER",
+    "RETRY",
     "KERNEL",
     "EVENT_KINDS",
     "Event",
@@ -72,6 +86,8 @@ RESIDUAL = "residual"
 GUARD = "guard"
 FAULT = "fault"
 MSG = "msg"
+MEMBER = "member"
+RETRY = "retry"
 KERNEL = "kernel"
 
 EVENT_KINDS: Tuple[str, ...] = (
@@ -83,6 +99,8 @@ EVENT_KINDS: Tuple[str, ...] = (
     GUARD,
     FAULT,
     MSG,
+    MEMBER,
+    RETRY,
     KERNEL,
 )
 

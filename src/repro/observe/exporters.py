@@ -27,7 +27,9 @@ from .events import (
     CORRECT_END,
     FAULT,
     GUARD,
+    MEMBER,
     RESIDUAL,
+    RETRY,
     Event,
 )
 
@@ -154,7 +156,7 @@ def to_chrome_trace(
                         "args": {"relres": ev.a},
                     }
                 )
-        elif ev.kind in (GUARD, FAULT):
+        elif ev.kind in (GUARD, FAULT, MEMBER, RETRY):
             out.append(
                 {
                     "name": f"{ev.kind}:{ev.tag}",

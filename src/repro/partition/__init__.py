@@ -5,6 +5,6 @@
 required for that grid to carry out its correction."
 """
 
-from .work import partition_threads, largest_remainder
+from .work import largest_remainder, partition_ranks, partition_threads
 
-__all__ = ["partition_threads", "largest_remainder"]
+__all__ = ["partition_threads", "partition_ranks", "largest_remainder"]

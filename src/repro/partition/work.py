@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["largest_remainder", "partition_threads"]
+__all__ = ["largest_remainder", "partition_threads", "partition_ranks"]
 
 
 def largest_remainder(weights: np.ndarray, total: int) -> np.ndarray:
@@ -51,3 +51,31 @@ def partition_threads(work: np.ndarray, nthreads: int) -> np.ndarray:
         return np.ones(ngrids, dtype=np.int64)
     extra = largest_remainder(np.maximum(work, 1e-12), nthreads - ngrids)
     return extra + 1
+
+
+def partition_ranks(work: np.ndarray, nranks: int) -> np.ndarray:
+    """Ranks per grid under elastic membership; zero-rank grids allowed.
+
+    With at least one rank per grid available this is exactly
+    :func:`partition_threads` (so a full-strength elastic run is
+    bit-identical to a static one).  With fewer live ranks than grids
+    there is no oversubscription to fall back on — each rank is a
+    simulated process, not an OpenMP team — so the ``nranks``
+    largest-work grids get one rank each and the rest get **zero**
+    (parked: the solve continues degraded without their corrections,
+    see :mod:`repro.distributed.elastic`).
+    """
+    work = np.asarray(work, dtype=np.float64)
+    ngrids = work.size
+    if nranks < 0:
+        raise ValueError("nranks must be non-negative")
+    if ngrids == 0:
+        raise ValueError("need at least one grid")
+    if nranks >= ngrids:
+        return partition_threads(work, nranks)
+    out = np.zeros(ngrids, dtype=np.int64)
+    if nranks:
+        # Deterministic: largest work first, ties broken by grid index.
+        order = np.lexsort((np.arange(ngrids), -work))
+        out[order[:nranks]] = 1
+    return out

@@ -20,8 +20,8 @@ hot path (the same per-worker-buffer discipline as
 
 from __future__ import annotations
 
-from dataclasses import dataclass, fields
-from typing import Any
+from dataclasses import dataclass, field, fields
+from typing import Any, Dict
 
 __all__ = ["FaultTelemetry"]
 
@@ -56,6 +56,32 @@ class FaultTelemetry:
       (or with retransmission disabled).
     - ``duplicates_discarded`` — duplicate deliveries suppressed by
       sequence-number dedup.
+
+    Message accounting (distributed simulator):
+
+    - ``messages_sent`` — transmissions attempted, including retries.
+    - ``messages_delivered`` — messages that reached their destination.
+    - ``messages_dropped`` — individual transmissions lost in flight
+      (a message dropped then retransmitted successfully counts one
+      drop and one delivery).
+    - ``delivery_attempts`` — histogram ``{attempts: messages}`` of how
+      many transmissions each *delivered* message needed (1 = first
+      try); recorded via :meth:`record_delivery`.
+
+    Elastic membership (:mod:`repro.distributed.elastic`):
+
+    - ``rank_crashes`` / ``rank_stalls`` — churn-plan events applied.
+    - ``member_joins`` / ``member_leaves`` — ranks that joined cold or
+      left permanently.
+    - ``member_suspects`` — ranks whose heartbeats went silent past the
+      suspect timeout.
+    - ``member_evictions`` — suspects declared dead and removed.
+    - ``member_recoveries`` — suspected/stalled ranks that resumed
+      heartbeating and were re-admitted.
+    - ``repartitions`` — incremental work re-partitions triggered by a
+      membership change.
+    - ``handoffs`` — checkpointed grid-level state handoffs to a new
+      owner after a repartition.
     """
 
     injected_crashes: int = 0
@@ -74,6 +100,22 @@ class FaultTelemetry:
     messages_lost: int = 0
     duplicates_discarded: int = 0
 
+    messages_sent: int = 0
+    messages_delivered: int = 0
+    messages_dropped: int = 0
+
+    rank_crashes: int = 0
+    rank_stalls: int = 0
+    member_joins: int = 0
+    member_leaves: int = 0
+    member_suspects: int = 0
+    member_evictions: int = 0
+    member_recoveries: int = 0
+    repartitions: int = 0
+    handoffs: int = 0
+
+    delivery_attempts: Dict[int, int] = field(default_factory=dict)
+
     def bump(self, counter: str, by: int = 1) -> None:
         """Increment one counter by ``by`` (single-writer: only the
         owning thread may bump an instance — give each worker its own
@@ -82,10 +124,27 @@ class FaultTelemetry:
             raise ValueError("telemetry increments must be non-negative")
         setattr(self, counter, getattr(self, counter) + by)
 
+    def record_delivery(self, attempts: int) -> None:
+        """Record one delivered message that needed ``attempts``
+        transmissions (1 = delivered on the first try)."""
+        if attempts < 1:
+            raise ValueError("a delivered message took at least one attempt")
+        self.delivery_attempts[attempts] = self.delivery_attempts.get(attempts, 0) + 1
+
     # ------------------------------------------------------------------
     def as_dict(self) -> dict:
-        """All counters as a plain ``{name: int}`` dict."""
-        return {f.name: getattr(self, f.name) for f in fields(self)}
+        """All counters as a flat ``{name: int}`` dict; the delivery
+        histogram is flattened to ``delivery_attempts[k]`` keys so the
+        result stays numeric-valued for :class:`~repro.observe.Metrics`."""
+        out: Dict[str, int] = {}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if f.name == "delivery_attempts":
+                for k in sorted(value):
+                    out[f"delivery_attempts[{k}]"] = value[k]
+            else:
+                out[f.name] = value
+        return out
 
     @property
     def total_injected(self) -> int:
@@ -111,8 +170,12 @@ class FaultTelemetry:
     def merge(self, other: "FaultTelemetry") -> "FaultTelemetry":
         """Add ``other``'s counters into self (returns self) — the
         single path by which worker shards reach a run's telemetry."""
-        for name, value in other.as_dict().items():
-            self.bump(name, value)
+        for f in fields(self):
+            if f.name == "delivery_attempts":
+                for k, v in other.delivery_attempts.items():
+                    self.delivery_attempts[k] = self.delivery_attempts.get(k, 0) + v
+            else:
+                self.bump(f.name, getattr(other, f.name))
         return self
 
     def register_into(self, metrics: Any, name: str = "resilience") -> None:

@@ -83,3 +83,12 @@ def rpr007_hot_loop_allocation(A, xs, n):
         acc[:n] += tmp + B.diagonal()[:n]
         n -= 1
     return acc
+
+
+def rpr008_membership_writes(mm, grid_down, rank_state):
+    # RPR008: membership state mutated outside MembershipManager.
+    grid_down[0] = True
+    mm.alive[3] = False
+    mm.rank_state = rank_state
+    mm.last_heard[2] += 1.0
+    return mm

@@ -15,6 +15,7 @@ ALL_CODES = (
     "RPR005",
     "RPR006",
     "RPR007",
+    "RPR008",
 )
 
 
@@ -116,6 +117,31 @@ class TestFixtureViolations:
         source = "import numpy\nwhile True:\n    v = numpy.empty(8)\n"
         active, _ = lint_source(source, "core/threaded.py")
         assert any(f.code == "RPR007" for f in active)
+
+    def test_rpr008_counts(self):
+        active, _ = lint_fixture()
+        msgs = [f.message for f in active if f.code == "RPR008"]
+        # grid_down subscript, mm.alive subscript, mm.rank_state
+        # attribute rebind, mm.last_heard augmented subscript.
+        assert len(msgs) == 4
+        assert any("'grid_down'" in m for m in msgs)
+        assert any("'rank_state'" in m for m in msgs)
+
+    def test_rpr008_allows_manager_internals(self):
+        source = (
+            "class MembershipManager:\n"
+            "    def mark_grid_down(self, g):\n"
+            "        self.grid_down[g] = True\n"
+        )
+        active, _ = lint_source(source, "distributed/elastic.py")
+        assert not any(f.code == "RPR008" for f in active)
+
+    def test_rpr008_scoped_to_distributed(self):
+        source = "def f(mm):\n    mm.alive[0] = False\n"
+        active, _ = lint_source(source, "core/engine.py")
+        assert not any(f.code == "RPR008" for f in active)
+        active, _ = lint_source(source, "distributed/simulator.py")
+        assert any(f.code == "RPR008" for f in active)
 
     def test_findings_carry_hint_and_location(self):
         active, _ = lint_fixture()

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.partition import largest_remainder, partition_threads
+from repro.partition import largest_remainder, partition_ranks, partition_threads
 
 
 class TestLargestRemainder:
@@ -54,3 +54,30 @@ class TestPartitionThreads:
     def test_invalid_nthreads(self):
         with pytest.raises(ValueError):
             partition_threads(np.ones(2), 0)
+
+
+class TestPartitionRanks:
+    def test_matches_partition_threads_at_full_strength(self):
+        # The bit-identity contract of churn-free elastic runs rests on
+        # this equality.
+        work = np.array([13824.0, 35968.0, 30832.0, 30372.0])
+        for n in (4, 5, 64, 1024):
+            assert np.array_equal(partition_ranks(work, n), partition_threads(work, n))
+
+    def test_parks_smallest_work_grids(self):
+        work = np.array([10.0, 50.0, 30.0, 20.0])
+        out = partition_ranks(work, 2)
+        assert np.array_equal(out, [0, 1, 1, 0])
+        assert out.sum() == 2
+
+    def test_zero_ranks_parks_everything(self):
+        out = partition_ranks(np.ones(3), 0)
+        assert np.all(out == 0)
+
+    def test_deterministic_ties_by_index(self):
+        out = partition_ranks(np.ones(4), 2)
+        assert np.array_equal(out, [1, 1, 0, 0])
+
+    def test_negative_ranks_raise(self):
+        with pytest.raises(ValueError):
+            partition_ranks(np.ones(2), -1)
