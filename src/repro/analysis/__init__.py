@@ -1,16 +1,24 @@
 """Concurrency-correctness analysis for the asynchronous executors.
 
-Two complementary layers:
+Three complementary layers:
 
-- **Static** (:mod:`repro.analysis.linter` + :mod:`repro.analysis.rules`)
-  — an AST project linter with repo-specific rules (RPR001–RPR005)
-  enforcing the concurrency discipline the paper's convergence results
-  depend on: all shared-array access through
-  :class:`~repro.core.writes.WritePolicy`, ascending striped-lock
-  order, seeded ``Generator`` randomness, monotonic clocks, and the
-  ``*Result`` dataclass contract.  Run it with
-  ``python -m repro.analysis --strict`` (the CI gate) or
+- **Per-file static** (:mod:`repro.analysis.linter` +
+  :mod:`repro.analysis.rules`) — an AST project linter with
+  repo-specific rules (RPR001–RPR008) enforcing the concurrency
+  discipline the paper's convergence results depend on: all
+  shared-array access through :class:`~repro.core.writes.WritePolicy`,
+  ascending striped-lock order, seeded ``Generator`` randomness,
+  monotonic clocks, and the ``*Result`` dataclass contract.  Run it
+  with ``python -m repro.analysis --strict`` (the CI gate) or
   ``python -m repro analyze``.
+
+- **Whole-program static** (:mod:`repro.analysis.static`) — a
+  CFG/dataflow engine, project call graph, escape analysis and
+  interprocedural lockset analysis backing RPR009 (statically detected
+  shared-array race) and RPR010 (cross-function lock-order violation),
+  with a findings baseline ratchet (``--baseline``) and SARIF export
+  (``--sarif``).  Every pass shares the parse-once
+  :class:`~repro.analysis.project.ProjectIndex`.
 
 - **Dynamic** (:mod:`repro.analysis.racecheck`) — a happens-before
   checker: :class:`CheckedWrite` wraps any write policy with per-stripe
@@ -21,7 +29,8 @@ Two complementary layers:
   producing a :class:`ModelConformanceReport`.
 """
 
-from .linter import LintReport, default_root, lint_source, run_linter
+from .linter import LintReport, default_root, lint_index, lint_source, run_linter
+from .project import ParsedModule, ProjectIndex
 from .racecheck import (
     CheckedWrite,
     ModelConformanceReport,
@@ -35,8 +44,11 @@ __all__ = [
     "Finding",
     "LintReport",
     "ModelConformanceReport",
+    "ParsedModule",
+    "ProjectIndex",
     "Rule",
     "default_root",
+    "lint_index",
     "lint_source",
     "rule_by_code",
     "run_conformance",

@@ -1,8 +1,16 @@
 """CI entry point: ``python -m repro.analysis [--strict] [PATH ...]``.
 
-Exits 0 when every rule is clean (or explicitly suppressed); exits 1
-on any active finding.  ``--strict`` additionally rejects suppressions
-that carry no justification text.
+Exits 0 when every rule is clean (or explicitly suppressed / pinned in
+the baseline); exits 1 on any new active finding.  ``--strict``
+additionally rejects suppressions that carry no justification text.
+
+The whole-program passes (RPR009/RPR010 — call graph, escape and
+lockset analysis) run by default; ``--no-static`` restricts the run to
+the per-file rules.  ``--baseline FILE`` turns the gate into a
+*ratchet*: findings fingerprinted in the baseline are reported but do
+not fail, anything new does, and ``--update-baseline`` rewrites the
+file (a deliberate, reviewable act).  ``--sarif FILE`` exports the run
+for code-scanning UIs.
 """
 
 from __future__ import annotations
@@ -12,13 +20,17 @@ import sys
 from pathlib import Path
 from typing import List, Optional
 
-from .linter import default_root, run_linter
+from .linter import LintReport, default_root, run_linter
+from .rules import ALL_RULES, Finding
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro.analysis",
-        description="Project linter: concurrency-correctness rules RPR001-RPR005",
+        description=(
+            "Project linter: concurrency-correctness rules RPR001-RPR010 "
+            "(per-file discipline checks plus whole-program lockset analysis)"
+        ),
     )
     parser.add_argument(
         "paths",
@@ -34,15 +46,93 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "--quiet", action="store_true", help="print nothing when clean"
     )
+    parser.add_argument(
+        "--static",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help=(
+            "run the whole-program passes (RPR009/RPR010); --no-static "
+            "keeps only the per-file rules"
+        ),
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help=(
+            "findings ratchet: fingerprints in FILE are pinned (reported, "
+            "not failing); new findings fail"
+        ),
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite --baseline FILE from the current findings and exit 0",
+    )
+    parser.add_argument(
+        "--sarif",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="write the findings as a SARIF 2.1.0 log to FILE",
+    )
     args = parser.parse_args(argv)
 
+    if args.update_baseline and args.baseline is None:
+        parser.error("--update-baseline requires --baseline FILE")
+
+    rules = ALL_RULES if args.static else [r for r in ALL_RULES if not r.project_wide]
+
     roots = args.paths or [default_root()]
-    ok = True
+    findings: List[Finding] = []
+    suppressed: List[Finding] = []
+    parse_errors: List[str] = []
+    files_checked = 0
     for root in roots:
-        report = run_linter(root=root, strict=args.strict)
-        ok = ok and report.ok
-        if not report.ok or not args.quiet:
-            print(report.format())
+        report = run_linter(root=root, strict=args.strict, rules=rules)
+        findings.extend(report.findings)
+        suppressed.extend(report.suppressed)
+        parse_errors.extend(report.parse_errors)
+        files_checked += report.files_checked
+
+    if args.sarif is not None:
+        from .static.sarif import write_sarif
+
+        write_sarif(str(args.sarif), findings, suppressed)
+
+    if args.update_baseline:
+        from .static.baseline import Baseline, baseline_details
+
+        baseline = Baseline.from_findings(findings)
+        baseline.save(args.baseline, baseline_details(findings))
+        if not args.quiet:
+            print(
+                f"baseline written: {args.baseline} "
+                f"({len(baseline.entries)} fingerprint(s), "
+                f"{len(findings)} finding(s))"
+            )
+        return 0
+
+    pinned: List[Finding] = []
+    if args.baseline is not None:
+        from .static.baseline import Baseline, apply_baseline
+
+        baseline = Baseline.load(args.baseline)
+        findings, pinned = apply_baseline(findings, baseline)
+
+    merged = LintReport(
+        findings=findings,
+        suppressed=suppressed,
+        files_checked=files_checked,
+        strict=args.strict,
+        parse_errors=parse_errors,
+    )
+    ok = merged.ok
+    if not ok or not args.quiet:
+        print(merged.format())
+        if pinned:
+            print(f"{len(pinned)} baselined finding(s) not counted against the gate")
     return 0 if ok else 1
 
 

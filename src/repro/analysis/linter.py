@@ -12,12 +12,23 @@ Usage (CLI)::
     python -m repro.analysis --strict     # CI entry point
     python -m repro analyze --strict      # same, through the main CLI
 
+The whole tree is parsed exactly once per run into a
+:class:`~repro.analysis.project.ProjectIndex`; per-file rules consume
+the cached :class:`ParsedModule` entries and the project-wide rules
+(RPR009/RPR010 — the interprocedural lockset analysis) consume the
+index itself, so adding a rule never adds a parse.
+
 Suppression
 -----------
-A finding is suppressed by an inline comment on the flagged line::
+A finding is suppressed by an inline comment anchored to the flagged
+construct::
 
     x[lo:hi] += vals  # repro: noqa[RPR001] scheduler is the serialization point
 
+The anchor is a *span*, not a single line: for a decorated ``def`` it
+covers the decorators and the (possibly wrapped) signature, and for a
+multi-line statement it covers the statement's header lines — so the
+comment can sit on whichever physical line survives reformatting.
 ``# repro: noqa`` with no code list suppresses every rule on that
 line.  In ``--strict`` mode a suppression must carry a justification
 (the free text after the bracket); a bare ``noqa`` leaves the finding
@@ -28,19 +39,14 @@ code is safe, not just that the author wanted the warning gone.
 
 from __future__ import annotations
 
-import ast
-import re
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from .project import NoqaEntry, ParsedModule, ProjectIndex
 from .rules import ALL_RULES, Finding, Rule
 
-__all__ = ["LintReport", "run_linter", "lint_source", "default_root"]
-
-_NOQA_RE = re.compile(
-    r"#\s*repro:\s*noqa(?:\[(?P<codes>[A-Z0-9,\s]+)\])?\s*(?P<just>.*)$"
-)
+__all__ = ["LintReport", "run_linter", "lint_index", "lint_source", "default_root"]
 
 
 def default_root() -> Path:
@@ -80,21 +86,81 @@ class LintReport:
         return "\n".join(lines)
 
 
-def _parse_noqa(source: str) -> Dict[int, Tuple[Optional[frozenset], str]]:
-    """Map line number -> (codes or None for all, justification)."""
-    out: Dict[int, Tuple[Optional[frozenset], str]] = {}
-    for lineno, line in enumerate(source.splitlines(), start=1):
-        m = _NOQA_RE.search(line)
-        if not m:
-            continue
-        codes = m.group("codes")
-        parsed = (
-            frozenset(c.strip() for c in codes.split(",") if c.strip())
-            if codes
-            else None
+def _noqa_for(
+    finding: Finding, noqa: Dict[int, NoqaEntry]
+) -> Optional[NoqaEntry]:
+    """The suppression entry covering ``finding``, if any.
+
+    A ``noqa`` on any line of the finding's anchor span counts; the
+    first matching line (top-down) wins when several apply.
+    """
+    for lineno in range(finding.span_start, finding.span_end + 1):
+        entry = noqa.get(lineno)
+        if entry is not None and (entry[0] is None or finding.code in entry[0]):
+            return entry
+    return None
+
+
+def _triage(
+    findings: Sequence[Finding],
+    noqa_by_path: Dict[str, Dict[int, NoqaEntry]],
+    strict: bool,
+    active: List[Finding],
+    suppressed: List[Finding],
+) -> None:
+    """Route findings to active/suppressed per the noqa maps."""
+    for finding in findings:
+        entry = _noqa_for(finding, noqa_by_path.get(finding.path, {}))
+        if entry is not None:
+            finding.justification = entry[1]
+            if strict and not entry[1]:
+                finding.message += (
+                    "  (suppression rejected: noqa carries no justification)"
+                )
+                active.append(finding)
+            else:
+                finding.suppressed = True
+                suppressed.append(finding)
+        else:
+            active.append(finding)
+
+
+def lint_index(
+    index: ProjectIndex,
+    strict: bool = False,
+    rules: Optional[Sequence[Rule]] = None,
+    ignore_scope: bool = False,
+) -> LintReport:
+    """Lint a pre-parsed project index (the parse-once entry point)."""
+    chosen = list(rules) if rules is not None else list(ALL_RULES)
+    report = LintReport(strict=strict)
+    report.parse_errors.extend(index.parse_errors)
+    report.files_checked = len(index)
+    noqa_by_path = {mod.relpath: mod.noqa for mod in index}
+
+    per_file = [r for r in chosen if not r.project_wide]
+    project = [r for r in chosen if r.project_wide]
+
+    for mod in index:
+        for rule in per_file:
+            if not ignore_scope and not rule.applies_to(mod.relpath):
+                continue
+            _triage(
+                rule.check_module(mod),
+                noqa_by_path,
+                strict,
+                report.findings,
+                report.suppressed,
+            )
+    for rule in project:
+        _triage(
+            rule.check_project(index),
+            noqa_by_path,
+            strict,
+            report.findings,
+            report.suppressed,
         )
-        out[lineno] = (parsed, m.group("just").strip())
-    return out
+    return report
 
 
 def lint_source(
@@ -108,30 +174,13 @@ def lint_source(
 
     ``ignore_scope`` runs every rule regardless of its file scope —
     used by the test fixtures, which concentrate violations of all
-    rules in one file.
+    rules in one file.  Project-wide rules see a one-module index.
     """
-    tree = ast.parse(source, filename=relpath)
-    noqa = _parse_noqa(source)
-    active: List[Finding] = []
-    suppressed: List[Finding] = []
-    for rule in rules if rules is not None else ALL_RULES:
-        if not ignore_scope and not rule.applies_to(relpath):
-            continue
-        for finding in rule.check(tree, source, relpath):
-            entry = noqa.get(finding.line)
-            if entry is not None and (entry[0] is None or finding.code in entry[0]):
-                finding.justification = entry[1]
-                if strict and not entry[1]:
-                    finding.message += (
-                        "  (suppression rejected: noqa carries no justification)"
-                    )
-                    active.append(finding)
-                else:
-                    finding.suppressed = True
-                    suppressed.append(finding)
-            else:
-                active.append(finding)
-    return active, suppressed
+    module = ParsedModule.parse(source, relpath)
+    index = ProjectIndex()
+    index.add(module)
+    report = lint_index(index, strict=strict, rules=rules, ignore_scope=ignore_scope)
+    return report.findings, report.suppressed
 
 
 def run_linter(
@@ -141,30 +190,7 @@ def run_linter(
     ignore_scope: bool = False,
 ) -> LintReport:
     """Lint every ``*.py`` file under ``root`` (default: the installed
-    ``repro`` package)."""
+    ``repro`` package), parsing each file exactly once."""
     base = Path(root) if root is not None else default_root()
-    report = LintReport(strict=strict)
-    if base.is_file():
-        files = [base]
-        relbase = base.parent
-    else:
-        files = sorted(base.rglob("*.py"))
-        relbase = base
-    for path in files:
-        relpath = str(path.relative_to(relbase))
-        try:
-            source = path.read_text(encoding="utf-8")
-        except OSError as exc:  # pragma: no cover - unreadable file
-            report.parse_errors.append(f"{relpath}: {exc}")
-            continue
-        try:
-            active, suppressed = lint_source(
-                source, relpath, strict=strict, rules=rules, ignore_scope=ignore_scope
-            )
-        except SyntaxError as exc:
-            report.parse_errors.append(f"{relpath}: {exc}")
-            continue
-        report.findings.extend(active)
-        report.suppressed.extend(suppressed)
-        report.files_checked += 1
-    return report
+    index = ProjectIndex.from_root(base)
+    return lint_index(index, strict=strict, rules=rules, ignore_scope=ignore_scope)

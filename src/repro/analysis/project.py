@@ -1,0 +1,149 @@
+"""Shared parsed-module cache for the analysis layer.
+
+Every analysis in :mod:`repro.analysis` — the per-file RPR rules, the
+whole-program call graph, the interprocedural lockset/escape passes —
+consumes the same parsed representation of the project.  This module
+owns that representation: a :class:`ProjectIndex` parses each ``*.py``
+file exactly **once per run** and hands the cached :class:`ParsedModule`
+(source text, ``ast`` tree, ``noqa`` suppression map, dotted module
+name) to every consumer.  Before this cache existed the linter parsed
+per file and the conformance CLI re-parsed for every extra pass; now
+``run_linter`` and the static analyses share one index.
+
+The index is deliberately dumb: no import execution, no filesystem
+watching — just text -> AST, plus the handful of derived maps every
+pass was recomputing.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, List, Mapping, Optional, Tuple
+
+__all__ = ["NoqaEntry", "ParsedModule", "ProjectIndex", "module_name_for"]
+
+#: line-anchored suppression comment: ``# repro: noqa[RPR001] why``
+NOQA_RE = re.compile(
+    r"#\s*repro:\s*noqa(?:\[(?P<codes>[A-Z0-9,\s]+)\])?\s*(?P<just>.*)$"
+)
+
+#: ``(codes or None for all, justification)``
+NoqaEntry = Tuple[Optional[frozenset], str]
+
+
+def module_name_for(relpath: str) -> str:
+    """Dotted module name for a path relative to the linted root.
+
+    ``core/threaded.py`` -> ``core.threaded``;
+    ``kernels/__init__.py`` -> ``kernels``; a top-level
+    ``__init__.py`` -> ``""`` (the package root itself).
+    """
+    norm = relpath.replace("\\", "/")
+    if norm.endswith(".py"):
+        norm = norm[: -len(".py")]
+    parts = [p for p in norm.split("/") if p]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+def parse_noqa(source: str) -> Dict[int, NoqaEntry]:
+    """Map line number -> (codes or None for all, justification)."""
+    out: Dict[int, NoqaEntry] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        m = NOQA_RE.search(line)
+        if not m:
+            continue
+        codes = m.group("codes")
+        parsed = (
+            frozenset(c.strip() for c in codes.split(",") if c.strip())
+            if codes
+            else None
+        )
+        out[lineno] = (parsed, m.group("just").strip())
+    return out
+
+
+@dataclass
+class ParsedModule:
+    """One parsed source file, with everything the passes derive from it."""
+
+    relpath: str
+    source: str
+    tree: ast.Module
+    module: str
+    """Dotted module name relative to the linted root."""
+    noqa: Dict[int, NoqaEntry] = field(default_factory=dict)
+
+    @classmethod
+    def parse(cls, source: str, relpath: str) -> "ParsedModule":
+        tree = ast.parse(source, filename=relpath)
+        return cls(
+            relpath=relpath,
+            source=source,
+            tree=tree,
+            module=module_name_for(relpath),
+            noqa=parse_noqa(source),
+        )
+
+
+@dataclass
+class ProjectIndex:
+    """All parsed modules of one analysis run (the parse-once cache)."""
+
+    modules: Dict[str, ParsedModule] = field(default_factory=dict)
+    """relpath -> parsed module."""
+    by_module: Dict[str, ParsedModule] = field(default_factory=dict)
+    """dotted module name -> parsed module."""
+    parse_errors: List[str] = field(default_factory=list)
+
+    def add(self, module: ParsedModule) -> None:
+        self.modules[module.relpath] = module
+        self.by_module[module.module] = module
+
+    def __iter__(self) -> Iterator[ParsedModule]:
+        return iter(self.modules.values())
+
+    def __len__(self) -> int:
+        return len(self.modules)
+
+    def get(self, relpath: str) -> Optional[ParsedModule]:
+        return self.modules.get(relpath)
+
+    def resolve_module(self, dotted: str) -> Optional[ParsedModule]:
+        return self.by_module.get(dotted)
+
+    @classmethod
+    def from_root(cls, root: Path) -> "ProjectIndex":
+        """Parse every ``*.py`` under ``root`` (or the single file) once."""
+        index = cls()
+        if root.is_file():
+            files = [root]
+            relbase = root.parent
+        else:
+            files = sorted(root.rglob("*.py"))
+            relbase = root
+        for path in files:
+            relpath = str(path.relative_to(relbase))
+            try:
+                source = path.read_text(encoding="utf-8")
+            except OSError as exc:  # pragma: no cover - unreadable file
+                index.parse_errors.append(f"{relpath}: {exc}")
+                continue
+            try:
+                index.add(ParsedModule.parse(source, relpath))
+            except SyntaxError as exc:
+                index.parse_errors.append(f"{relpath}: {exc}")
+        return index
+
+    @classmethod
+    def from_sources(cls, sources: Mapping[str, str]) -> "ProjectIndex":
+        """Build an index from in-memory ``{relpath: source}`` pairs
+        (test fixtures, single-module lint runs)."""
+        index = cls()
+        for relpath, source in sources.items():
+            index.add(ParsedModule.parse(source, relpath))
+        return index

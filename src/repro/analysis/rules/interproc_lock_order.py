@@ -1,0 +1,69 @@
+"""RPR010 — interprocedural lock-order violation.
+
+RPR002 checks acquisition order *within* one function; this rule
+follows must-held locksets through the call graph and flags
+
+- **deadlock cycles**: two code paths that acquire the same pair of
+  locks in opposite orders, even when each path takes one lock in a
+  caller and the other in a callee;
+- **cross-function stripe breaks**: acquiring a lock from a striped
+  collection (``self._locks[s]``) while a *caller* already holds a
+  stripe of the same collection — the ascending-sweep argument that
+  makes :class:`~repro.core.writes.AtomicWrite` deadlock-free cannot
+  be checked across a call boundary, so the pattern is flagged.
+
+Project-wide; the single-module :meth:`check` fallback lets fixture
+snippets be linted in isolation.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, List
+
+from . import Finding, Rule
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..project import ProjectIndex
+
+
+class InterprocLockOrderRule(Rule):
+    code = "RPR010"
+    name = "interproc-lock-order"
+    description = (
+        "locks acquired in conflicting order across function boundaries "
+        "(deadlock cycle or same-collection stripe held by a caller)"
+    )
+    hint = (
+        "establish one global acquisition order (e.g. ascending stripe "
+        "index) and take every lock at a single call depth"
+    )
+    project_wide = True
+
+    def check_project(self, index: "ProjectIndex") -> List[Finding]:
+        from ..static import analyze_project
+
+        _cg, _escapes, report = analyze_project(index)
+        findings: List[Finding] = []
+        for site in report.order_violations:
+            node = site.node
+            anchor = node if isinstance(node, ast.AST) else getattr(node, "node", None)
+            if isinstance(anchor, ast.AST):
+                f = self.finding(site.relpath, anchor, site.message)
+                f.line = site.lineno or f.line
+            else:  # pragma: no cover - defensive
+                f = Finding(
+                    code=self.code,
+                    message=site.message,
+                    path=site.relpath,
+                    line=site.lineno,
+                    hint=self.hint,
+                )
+            findings.append(f)
+        return findings
+
+    def check(self, tree: ast.AST, source: str, relpath: str) -> List[Finding]:
+        from ..project import ProjectIndex
+
+        index = ProjectIndex.from_sources({relpath: source})
+        return self.check_project(index)

@@ -1,0 +1,56 @@
+"""RPR009 — statically detected data race on a shared array.
+
+Supersedes the name-list heuristic of RPR001: "shared" is *computed*
+by the escape analysis (arrays flowing into handed-off worker
+closures, then propagated through call-site argument bindings), and a
+raw write is only flagged when the interprocedural lockset analysis
+proves the empty must-hold set — a write under ``with lock:`` in the
+function itself **or in any caller on every path** is fine, as is a
+write routed through a :class:`~repro.core.writes.WritePolicy`.
+
+Project-wide: the linter calls :meth:`check_project` once per run with
+the shared parsed-module index; :meth:`check` (single module) exists
+so fixture snippets can be linted in isolation.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, List
+
+from . import Finding, Rule
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..project import ProjectIndex
+
+
+class StaticRaceRule(Rule):
+    code = "RPR009"
+    name = "static-race"
+    description = (
+        "raw write to a shared array reachable from a worker closure "
+        "with a provably empty lockset and no covering write policy"
+    )
+    hint = (
+        "route the write through make_write_policy(...) (policy.add / "
+        "policy.assign_slice) or hold a lock on every path to it"
+    )
+    project_wide = True
+
+    def check_project(self, index: "ProjectIndex") -> List[Finding]:
+        from ..static import analyze_project
+
+        _cg, _escapes, report = analyze_project(index)
+        findings: List[Finding] = []
+        for site in report.races:
+            f = self.finding(site.relpath, site.node, site.message)
+            findings.append(f)
+        return findings
+
+    def check(self, tree: ast.AST, source: str, relpath: str) -> List[Finding]:
+        # Single-module fallback (fixture snippets, ad-hoc files): run
+        # the whole-program analysis over a one-module index.
+        from ..project import ProjectIndex
+
+        index = ProjectIndex.from_sources({relpath: source})
+        return self.check_project(index)

@@ -1,0 +1,115 @@
+"""Findings baseline — the CI ratchet.
+
+A baseline file (``.analysis-baseline.json`` at the repo root) pins
+the set of findings that existed when the gate was introduced.  CI
+then *ratchets*: pinned findings do not fail the build, **new**
+findings do, and the only way to grow the baseline is an explicit
+``--update-baseline`` commit that reviewers see in the diff.
+
+Fingerprints are deliberately line-number-free —
+``sha256(code | path | scope | message)`` truncated to 16 hex chars —
+so unrelated edits above a pinned finding do not churn the file.  Two
+identical findings in one scope share a fingerprint; the baseline
+stores a *count* per fingerprint and only flags a fingerprint when its
+live count exceeds the pinned count.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Tuple
+
+from ..rules import Finding
+
+__all__ = ["Baseline", "fingerprint", "apply_baseline"]
+
+_FORMAT_VERSION = 1
+
+
+def fingerprint(finding: Finding, scope: str = "") -> str:
+    """Stable, line-number-free identity of one finding."""
+    raw = "|".join((finding.code, finding.path, scope, finding.message))
+    return hashlib.sha256(raw.encode("utf-8")).hexdigest()[:16]
+
+
+@dataclass
+class Baseline:
+    """Pinned finding fingerprints with per-fingerprint counts."""
+
+    entries: Dict[str, int] = field(default_factory=dict)
+    version: int = _FORMAT_VERSION
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        if not path.exists():
+            return cls()
+        data = json.loads(path.read_text(encoding="utf-8"))
+        entries = {
+            str(e["fingerprint"]): int(e.get("count", 1))
+            for e in data.get("findings", [])
+        }
+        return cls(entries=entries, version=int(data.get("version", _FORMAT_VERSION)))
+
+    def save(self, path: Path, details: Dict[str, Dict[str, object]] | None = None) -> None:
+        findings = []
+        for fp in sorted(self.entries):
+            entry: Dict[str, object] = {"fingerprint": fp, "count": self.entries[fp]}
+            if details and fp in details:
+                entry.update(details[fp])
+            findings.append(entry)
+        payload = {
+            "version": self.version,
+            "comment": (
+                "Pinned analyzer findings. New findings fail CI; regenerate "
+                "deliberately with `repro analyze --update-baseline`."
+            ),
+            "findings": findings,
+        }
+        path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+    @classmethod
+    def from_findings(cls, findings: Iterable[Finding]) -> "Baseline":
+        bl = cls()
+        for f in findings:
+            fp = fingerprint(f)
+            bl.entries[fp] = bl.entries.get(fp, 0) + 1
+        return bl
+
+
+def apply_baseline(
+    findings: List[Finding], baseline: Baseline
+) -> Tuple[List[Finding], List[Finding]]:
+    """Split ``findings`` into (new, pinned) against ``baseline``.
+
+    For each fingerprint, up to the pinned count of findings are
+    absorbed (oldest-by-line first, for determinism); any excess —
+    including every finding whose fingerprint is absent — is new and
+    should fail the gate.
+    """
+    budget = dict(baseline.entries)
+    new: List[Finding] = []
+    pinned: List[Finding] = []
+    for f in sorted(findings, key=lambda f: (f.path, f.line, f.code)):
+        fp = fingerprint(f)
+        if budget.get(fp, 0) > 0:
+            budget[fp] -= 1
+            pinned.append(f)
+        else:
+            new.append(f)
+    return new, pinned
+
+
+def baseline_details(findings: Iterable[Finding]) -> Dict[str, Dict[str, object]]:
+    """Human-readable context stored next to each fingerprint (not part
+    of the identity, so it may go stale without breaking the pin)."""
+    out: Dict[str, Dict[str, object]] = {}
+    for f in findings:
+        fp = fingerprint(f)
+        out.setdefault(
+            fp,
+            {"code": f.code, "path": f.path, "message": f.message},
+        )
+    return out

@@ -1,0 +1,317 @@
+"""Per-function control-flow graphs over Python ``ast``.
+
+The dataflow engine (:mod:`repro.analysis.static.dataflow`) runs over
+these graphs.  A :class:`CFG` is a set of :class:`BasicBlock` nodes —
+maximal straight-line statement sequences — connected by directed
+edges; one synthetic entry block and one synthetic exit block bracket
+the function.
+
+Compound statements are *lowered* so dataflow transfer functions only
+ever see simple statements:
+
+- ``if`` / ``while`` / ``for`` produce branch and back edges in the
+  usual way (the test expression stays in the header block as the
+  original compound node, so analyses can read it);
+- ``with`` bodies are flattened, bracketed by synthetic
+  :class:`RegionEnter` / :class:`RegionExit` markers per ``withitem``
+  — the hook the lockset analysis keys on.  ``with`` guarantees its
+  exit runs on *every* leave (that is the point of the statement), so
+  the marker pair is sound for must-analyses;
+- ``try`` is handled conservatively: every block of the protected body
+  gets an edge to every handler (any statement may raise), the
+  ``else`` runs after a normal body, and a ``finally`` suite is a
+  join block both normal and handler paths flow through;
+- ``return`` / ``raise`` edge to the exit block; ``break`` /
+  ``continue`` edge to the innermost loop's exit / header.
+
+The builder is deliberately forgiving — anything it does not model
+(``match``, exotic constructs) is kept as an opaque statement in the
+current block, which keeps every analysis conservative rather than
+wrong.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple, Union
+
+__all__ = ["BasicBlock", "CFG", "RegionEnter", "RegionExit", "Stmt", "build_cfg"]
+
+
+@dataclass(frozen=True)
+class RegionEnter:
+    """Synthetic marker: control entered ``with item:`` at this point."""
+
+    node: ast.stmt
+    item: ast.withitem
+    lineno: int
+
+
+@dataclass(frozen=True)
+class RegionExit:
+    """Synthetic marker: the matching ``with`` region was left."""
+
+    node: ast.stmt
+    item: ast.withitem
+    lineno: int
+
+
+#: what a basic block holds: real (simple or header) statements plus
+#: the synthetic with-region markers
+Stmt = Union[ast.stmt, RegionEnter, RegionExit]
+
+
+@dataclass
+class BasicBlock:
+    bid: int
+    stmts: List[Stmt] = field(default_factory=list)
+    succs: List[int] = field(default_factory=list)
+    preds: List[int] = field(default_factory=list)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        kinds = [type(s).__name__ for s in self.stmts]
+        return f"BasicBlock({self.bid}, {kinds}, succs={self.succs})"
+
+
+@dataclass
+class CFG:
+    """Control-flow graph of one function (or module toplevel)."""
+
+    blocks: Dict[int, BasicBlock]
+    entry: int
+    exit: int
+    func: Optional[ast.AST] = None
+
+    def block(self, bid: int) -> BasicBlock:
+        return self.blocks[bid]
+
+    def rpo(self) -> List[int]:
+        """Reverse postorder from the entry (a good worklist seed for
+        forward analyses)."""
+        seen: Dict[int, bool] = {}
+        order: List[int] = []
+
+        def visit(bid: int) -> None:
+            stack = [(bid, iter(self.blocks[bid].succs))]
+            seen[bid] = True
+            while stack:
+                cur, it = stack[-1]
+                advanced = False
+                for nxt in it:
+                    if not seen.get(nxt):
+                        seen[nxt] = True
+                        stack.append((nxt, iter(self.blocks[nxt].succs)))
+                        advanced = True
+                        break
+                if not advanced:
+                    order.append(cur)
+                    stack.pop()
+
+        visit(self.entry)
+        return list(reversed(order))
+
+    def statements(self) -> Iterator[Tuple[int, Stmt]]:
+        """All (block id, statement) pairs in block order."""
+        for bid in sorted(self.blocks):
+            for stmt in self.blocks[bid].stmts:
+                yield bid, stmt
+
+
+_JUMPS = (ast.Return, ast.Raise, ast.Break, ast.Continue)
+
+
+class _Builder:
+    def __init__(self) -> None:
+        self.blocks: Dict[int, BasicBlock] = {}
+        self._next = 0
+        self.entry = self.new_block()
+        self.exit = self.new_block()
+        #: (header bid, after-loop bid) stack for continue/break
+        self.loops: List[Tuple[int, int]] = []
+
+    def new_block(self) -> int:
+        bid = self._next
+        self._next += 1
+        self.blocks[bid] = BasicBlock(bid)
+        return bid
+
+    def edge(self, a: int, b: int) -> None:
+        if b not in self.blocks[a].succs:
+            self.blocks[a].succs.append(b)
+            self.blocks[b].preds.append(a)
+
+    # ------------------------------------------------------------------
+    def lower(self, stmts: List[ast.stmt], cur: int) -> Optional[int]:
+        """Lower a statement suite into blocks starting at ``cur``.
+        Returns the live fall-through block, or None if every path
+        jumped away."""
+        alive: Optional[int] = cur
+        for stmt in stmts:
+            if alive is None:
+                # Unreachable code after a jump: put it in a fresh
+                # orphan block so its statements still exist for
+                # site-collection passes, but carry no flow.
+                alive = self.new_block()
+            alive = self._lower_stmt(stmt, alive)
+        return alive
+
+    def _lower_stmt(self, stmt: ast.stmt, cur: int) -> Optional[int]:
+        if isinstance(stmt, ast.If):
+            return self._lower_if(stmt, cur)
+        if isinstance(stmt, (ast.While,)):
+            return self._lower_while(stmt, cur)
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            return self._lower_for(stmt, cur)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            return self._lower_with(stmt, cur)
+        if isinstance(stmt, ast.Try):
+            return self._lower_try(stmt, cur)
+        if isinstance(stmt, _JUMPS):
+            self.blocks[cur].stmts.append(stmt)
+            if isinstance(stmt, (ast.Return, ast.Raise)):
+                self.edge(cur, self.exit)
+            elif isinstance(stmt, ast.Break):
+                if self.loops:
+                    self.edge(cur, self.loops[-1][1])
+                else:  # pragma: no cover - malformed input
+                    self.edge(cur, self.exit)
+            else:  # Continue
+                if self.loops:
+                    self.edge(cur, self.loops[-1][0])
+                else:  # pragma: no cover - malformed input
+                    self.edge(cur, self.exit)
+            return None
+        # Plain statement (incl. nested FunctionDef/ClassDef, which are
+        # definitions — no control flow of their own at this level).
+        self.blocks[cur].stmts.append(stmt)
+        return cur
+
+    def _lower_if(self, stmt: ast.If, cur: int) -> Optional[int]:
+        self.blocks[cur].stmts.append(stmt)  # header (test expr)
+        then_b = self.new_block()
+        self.edge(cur, then_b)
+        then_end = self.lower(stmt.body, then_b)
+        if stmt.orelse:
+            else_b = self.new_block()
+            self.edge(cur, else_b)
+            else_end = self.lower(stmt.orelse, else_b)
+        else:
+            else_end = cur  # false edge falls through
+        if then_end is None and else_end is None:
+            return None
+        join = self.new_block()
+        if then_end is not None:
+            self.edge(then_end, join)
+        if else_end is not None:
+            self.edge(else_end, join)
+        return join
+
+    def _lower_while(self, stmt: ast.While, cur: int) -> Optional[int]:
+        header = self.new_block()
+        self.edge(cur, header)
+        self.blocks[header].stmts.append(stmt)
+        after = self.new_block()
+        body_b = self.new_block()
+        self.edge(header, body_b)
+        self.edge(header, after)  # loop test false / loop else
+        self.loops.append((header, after))
+        body_end = self.lower(stmt.body, body_b)
+        self.loops.pop()
+        if body_end is not None:
+            self.edge(body_end, header)  # back edge
+        if stmt.orelse:
+            else_end = self.lower(stmt.orelse, after)
+            if else_end is not None and else_end != after:
+                return else_end
+        return after
+
+    def _lower_for(self, stmt: Union[ast.For, ast.AsyncFor], cur: int) -> Optional[int]:
+        header = self.new_block()
+        self.edge(cur, header)
+        self.blocks[header].stmts.append(stmt)
+        after = self.new_block()
+        body_b = self.new_block()
+        self.edge(header, body_b)
+        self.edge(header, after)  # iterator exhausted
+        self.loops.append((header, after))
+        body_end = self.lower(stmt.body, body_b)
+        self.loops.pop()
+        if body_end is not None:
+            self.edge(body_end, header)
+        if stmt.orelse:
+            else_end = self.lower(stmt.orelse, after)
+            if else_end is not None and else_end != after:
+                return else_end
+        return after
+
+    def _lower_with(
+        self, stmt: Union[ast.With, ast.AsyncWith], cur: int
+    ) -> Optional[int]:
+        for item in stmt.items:
+            self.blocks[cur].stmts.append(
+                RegionEnter(stmt, item, getattr(stmt, "lineno", 0))
+            )
+        end = self.lower(stmt.body, cur)
+        end_line = getattr(stmt, "end_lineno", None) or getattr(stmt, "lineno", 0)
+        if end is not None:
+            for item in reversed(stmt.items):
+                self.blocks[end].stmts.append(RegionExit(stmt, item, end_line))
+        return end
+
+    def _lower_try(self, stmt: ast.Try, cur: int) -> Optional[int]:
+        body_b = self.new_block()
+        self.edge(cur, body_b)
+        before = set(self.blocks)
+        body_end = self.lower(stmt.body, body_b)
+        # Blocks created while lowering the body (any may raise).
+        raisers = [b for b in self.blocks if b not in before or b == body_b]
+
+        handler_ends: List[int] = []
+        for handler in stmt.handlers:
+            h_b = self.new_block()
+            for b in raisers:
+                self.edge(b, h_b)
+            h_end = self.lower(handler.body, h_b)
+            if h_end is not None:
+                handler_ends.append(h_end)
+
+        else_end: Optional[int] = body_end
+        if stmt.orelse and body_end is not None:
+            else_b = self.new_block()
+            self.edge(body_end, else_b)
+            else_end = self.lower(stmt.orelse, else_b)
+
+        tails = [e for e in ([else_end] + handler_ends) if e is not None]
+        if stmt.finalbody:
+            fin_b = self.new_block()
+            for t in tails:
+                self.edge(t, fin_b)
+            if not tails:
+                # Every path jumped; the finally still runs on the way
+                # out — approximate by wiring it from the try entry.
+                self.edge(cur, fin_b)
+            fin_end = self.lower(stmt.finalbody, fin_b)
+            return fin_end
+        if not tails:
+            return None
+        join = self.new_block()
+        for t in tails:
+            self.edge(t, join)
+        return join
+
+
+def build_cfg(func: ast.AST) -> CFG:
+    """Build the CFG of a function (``FunctionDef`` /
+    ``AsyncFunctionDef``) or of a whole module's toplevel suite."""
+    if isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Module)):
+        body = func.body
+    else:  # pragma: no cover - defensive
+        raise TypeError(f"cannot build a CFG for {type(func).__name__}")
+    b = _Builder()
+    start = b.new_block()
+    b.edge(b.entry, start)
+    end = b.lower(body, start)
+    if end is not None:
+        b.edge(end, b.exit)
+    return CFG(blocks=b.blocks, entry=b.entry, exit=b.exit, func=func)

@@ -1,0 +1,105 @@
+"""Minimal SARIF 2.1.0 export.
+
+Just enough of the schema for code-scanning UIs to render analyzer
+findings on a pull request: one run, one rule descriptor per RPR code,
+one result per finding with a physical location.  Suppressed findings
+are carried with a ``suppressions`` entry so the upload reflects the
+``# repro: noqa[...]`` audit trail.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List
+
+from ..rules import ALL_RULES, Finding
+
+__all__ = ["to_sarif", "write_sarif"]
+
+_SARIF_VERSION = "2.1.0"
+_SCHEMA = "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json"
+
+
+def _rule_descriptor(code: str) -> Dict[str, object]:
+    for rule in ALL_RULES:
+        if rule.code == code:
+            return {
+                "id": code,
+                "name": rule.name,
+                "shortDescription": {"text": rule.description},
+                "help": {"text": rule.hint},
+            }
+    return {"id": code, "name": code}
+
+
+def _result(finding: Finding) -> Dict[str, object]:
+    result: Dict[str, object] = {
+        "ruleId": finding.code,
+        "level": "error",
+        "message": {"text": finding.message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": finding.path.replace("\\", "/"),
+                        "uriBaseId": "SRCROOT",
+                    },
+                    "region": {
+                        "startLine": max(1, finding.line),
+                        "startColumn": max(1, finding.col + 1),
+                    },
+                }
+            }
+        ],
+    }
+    if finding.suppressed:
+        result["level"] = "note"
+        result["suppressions"] = [
+            {
+                "kind": "inSource",
+                "justification": finding.justification or "",
+            }
+        ]
+    return result
+
+
+def to_sarif(
+    findings: Iterable[Finding],
+    suppressed: Iterable[Finding] = (),
+    tool_version: str = "0",
+) -> Dict[str, object]:
+    all_findings: List[Finding] = list(findings) + list(suppressed)
+    codes = sorted({f.code for f in all_findings})
+    return {
+        "$schema": _SCHEMA,
+        "version": _SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-analyze",
+                        "informationUri": "https://example.invalid/repro",
+                        "version": tool_version,
+                        "rules": [_rule_descriptor(c) for c in codes],
+                    }
+                },
+                "results": [_result(f) for f in all_findings],
+            }
+        ],
+    }
+
+
+def write_sarif(
+    path: str,
+    findings: Iterable[Finding],
+    suppressed: Iterable[Finding] = (),
+    tool_version: str = "0",
+) -> None:
+    doc = to_sarif(findings, suppressed, tool_version)
+    out = Path(path)
+    if out.parent and not out.parent.exists():
+        out.parent.mkdir(parents=True, exist_ok=True)
+    with open(out, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2)
+        fh.write("\n")

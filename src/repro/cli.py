@@ -344,11 +344,21 @@ def _cmd_table1(args) -> int:
 
 
 def _cmd_analyze(args) -> int:
-    from .analysis import run_conformance, run_linter
+    from .analysis import run_conformance
+    from .analysis.__main__ import main as analysis_main
 
-    report = run_linter(strict=args.strict)
-    print(report.format())
-    ok = report.ok
+    lint_argv = []
+    if args.strict:
+        lint_argv.append("--strict")
+    if not args.static:
+        lint_argv.append("--no-static")
+    if args.baseline:
+        lint_argv += ["--baseline", args.baseline]
+    if args.update_baseline:
+        lint_argv.append("--update-baseline")
+    if args.sarif:
+        lint_argv += ["--sarif", args.sarif]
+    ok = analysis_main(lint_argv) == 0
     if args.conformance:
         problem, hierarchy = _build(args)
         solver = Multadd(hierarchy, smoother="jacobi", weight=problem.jacobi_weight)
@@ -571,7 +581,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "analyze",
-        help="concurrency-correctness analysis: static RPR lint + "
+        help="concurrency-correctness analysis: per-file RPR lint, "
+        "whole-program lockset analysis (RPR009/RPR010), and an "
         "optional instrumented conformance run",
     )
     _add_problem_args(p)
@@ -580,6 +591,31 @@ def build_parser() -> argparse.ArgumentParser:
         "--strict",
         action="store_true",
         help="fail on any unsuppressed finding; require justified noqa",
+    )
+    p.add_argument(
+        "--static",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="run the whole-program passes (RPR009/RPR010); "
+        "--no-static keeps only the per-file rules",
+    )
+    p.add_argument(
+        "--baseline",
+        default=None,
+        metavar="FILE",
+        help="findings ratchet file: pinned findings are reported but "
+        "do not fail; new findings do",
+    )
+    p.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite --baseline FILE from the current findings",
+    )
+    p.add_argument(
+        "--sarif",
+        default=None,
+        metavar="FILE",
+        help="export the findings as a SARIF 2.1.0 log",
     )
     p.add_argument(
         "--conformance",

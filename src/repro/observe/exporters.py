@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+from typing import IO, Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from .events import (
     CORRECT_BEGIN,
@@ -47,7 +47,7 @@ __all__ = [
 PathLike = Union[str, Path]
 
 
-def _open_for_write(path: PathLike):
+def _open_for_write(path: PathLike) -> IO[str]:
     """Open ``path`` for writing, creating parent directories so CLI
     ``--out some/new/dir/run.jsonl`` just works."""
     p = Path(path)

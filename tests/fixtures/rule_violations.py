@@ -92,3 +92,60 @@ def rpr008_membership_writes(mm, grid_down, rank_state):
     mm.rank_state = rank_state
     mm.last_heard[2] += 1.0
     return mm
+
+
+def rpr009_apply_correction(iterate, update):
+    # RPR009: raw write to an array that is shared in the *caller* —
+    # the escaping worker closure below hands `iterate` to this
+    # helper, so the interprocedural pass must flag the write even
+    # though this function looks innocent in isolation.  (Names are
+    # deliberately not in RPR001's list: only the whole-program pass
+    # can see this.)
+    iterate += update
+
+
+def rpr009_spawn_unguarded_helper(A, b, n):
+    # Escape seed: iterate and resid are created here and flow into
+    # `worker`, which is handed off as a value (Thread target) — both
+    # arrays are statically shared from that point on.
+    iterate = np.zeros(n)
+    resid = b - A @ iterate
+
+    def worker(k):
+        # RPR009: raw write to an escaping shared array, no lock held.
+        resid[k] += 1.0
+        update = np.zeros(n)
+        rpr009_apply_correction(iterate, update)
+
+    t = threading.Thread(target=worker, args=(0,), daemon=True)
+    t.start()
+    return iterate
+
+
+_order_lock_a = threading.Lock()
+_order_lock_b = threading.Lock()
+
+
+def rpr010_first_order(data):
+    # Takes A here, then B inside the callee: the A -> B edge.
+    with _order_lock_a:
+        _rpr010_under_a(data)
+
+
+def _rpr010_under_a(data):
+    # RPR010: acquires B while the caller holds A...
+    with _order_lock_b:
+        data[0] = 1.0
+
+
+def rpr010_inverted_order(data):
+    # ...while this path takes B first, then A inside its callee —
+    # the opposite order, a cross-function deadlock cycle.
+    with _order_lock_b:
+        _rpr010_under_b(data)
+
+
+def _rpr010_under_b(data):
+    # RPR010: acquires A while the caller holds B.
+    with _order_lock_a:
+        data[0] = 2.0

@@ -16,6 +16,8 @@ ALL_CODES = (
     "RPR006",
     "RPR007",
     "RPR008",
+    "RPR009",
+    "RPR010",
 )
 
 
@@ -143,6 +145,21 @@ class TestFixtureViolations:
         active, _ = lint_source(source, "distributed/simulator.py")
         assert any(f.code == "RPR008" for f in active)
 
+    def test_rpr009_counts_and_interprocedural_reach(self):
+        active, _ = lint_fixture()
+        msgs = [f.message for f in active if f.code == "RPR009"]
+        # The raw write inside the escaping worker closure, plus the
+        # write inside the helper the worker hands the array to.
+        assert len(msgs) == 2
+        assert any("'resid'" in m and "escaping array" in m for m in msgs)
+        assert any("'iterate'" in m and "shared argument" in m for m in msgs)
+
+    def test_rpr010_cycle_both_directions(self):
+        active, _ = lint_fixture()
+        msgs = [f.message for f in active if f.code == "RPR010"]
+        assert len(msgs) == 2
+        assert all("opposite order" in m for m in msgs)
+
     def test_findings_carry_hint_and_location(self):
         active, _ = lint_fixture()
         for f in active:
@@ -190,6 +207,56 @@ class TestSuppression:
         source = "import time\nt = time.time()  # repro: noqa[RPR003] wrong code\n"
         active, _ = lint_source(source, "m.py", strict=True)
         assert any(f.code == "RPR004" for f in active)
+
+    def test_noqa_on_wrapped_statement_tail(self):
+        # The statement header wraps; the noqa sits on its last
+        # physical line, not the line the finding anchors to.
+        source = (
+            "import time\n"
+            "t = time.time(\n"
+            ")  # repro: noqa[RPR004] boot banner, not a duration\n"
+        )
+        active, suppressed = lint_source(source, "m.py", strict=True)
+        assert not any(f.code == "RPR004" for f in active)
+        assert any(f.code == "RPR004" for f in suppressed)
+
+    def test_noqa_on_decorator_line(self):
+        # RPR005 anchors on the ClassDef; a noqa on the decorator line
+        # (part of the construct) must suppress it.
+        source = (
+            "from dataclasses import dataclass\n"
+            "@dataclass  # repro: noqa[RPR005] legacy result shim\n"
+            "class LegacyResult:\n"
+            "    x: float = 0.0\n"
+        )
+        active, suppressed = lint_source(source, "m.py", strict=True)
+        assert not any(f.code == "RPR005" for f in active)
+        assert any(f.code == "RPR005" for f in suppressed)
+
+    def test_noqa_on_class_line_of_decorated_class(self):
+        source = (
+            "from dataclasses import dataclass\n"
+            "@dataclass\n"
+            "class LegacyResult:  # repro: noqa[RPR005] legacy result shim\n"
+            "    x: float = 0.0\n"
+        )
+        active, suppressed = lint_source(source, "m.py", strict=True)
+        assert not any(f.code == "RPR005" for f in active)
+        assert any(f.code == "RPR005" for f in suppressed)
+
+    def test_noqa_inside_body_does_not_leak_to_header(self):
+        # A noqa on a body line must not suppress a finding anchored
+        # to the construct's header.
+        source = (
+            "from dataclasses import dataclass\n"
+            "@dataclass\n"
+            "class LegacyResult:\n"
+            "    x: float = 0.0  # repro: noqa[RPR005] wrong line\n"
+        )
+        active, _ = lint_source(source, "m.py", strict=True)
+        assert any(
+            f.code == "RPR005" and "missing required" in f.message for f in active
+        )
 
 
 class TestRepoIsClean:
