@@ -132,6 +132,7 @@ def _collect_rules() -> List[Rule]:
     from .hot_alloc import HotLoopAllocationRule
     from .hot_path import HotPathEmissionRule
     from .interproc_lock_order import InterprocLockOrderRule
+    from .live_callbacks import LiveCallbackBlockingRule
     from .lock_order import LockOrderRule
     from .membership import MembershipTransitionRule
     from .result_contract import ResultContractRule
@@ -151,6 +152,7 @@ def _collect_rules() -> List[Rule]:
         MembershipTransitionRule,
         StaticRaceRule,
         InterprocLockOrderRule,
+        LiveCallbackBlockingRule,
     ]
     rules = [cls() for cls in classes]
     codes = [r.code for r in rules]

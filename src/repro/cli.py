@@ -10,6 +10,9 @@ Commands
              instrumented model-conformance run.
 ``trace``    Record (``run``), summarize (``report``) and convert
              (``export``) traces from the :mod:`repro.observe` layer.
+``top``      Refreshing terminal view of a running or replayed solve,
+             fed by the ``--snapshots`` JSONL stream of a live solve
+             (see :mod:`repro.observe.live`).
 ``bench``    Kernel-layer performance bench: per-kernel and end-to-end
              timings per backend, emitted as schema-versioned
              ``BENCH_perf.json`` (see :mod:`repro.kernels.bench`).
@@ -35,6 +38,9 @@ Examples
     python -m repro trace export run.jsonl --chrome run.chrome.json
     python -m repro bench --quick --out BENCH_perf.json
     python -m repro solve --set 5pt --size 64 --run-async --kernels numpy
+    python -m repro solve --set 7pt --size 10 --run-async --backend threaded \\
+        --tmax 200 --live --metrics-port 9464 --snapshots live.jsonl
+    python -m repro top live.jsonl --once
 """
 
 from __future__ import annotations
@@ -172,6 +178,36 @@ def _cmd_solve(args) -> int:
     if trace_path and not args.run_async:
         print("error: --trace requires --run-async", file=sys.stderr)
         return 2
+    live_requested = bool(
+        args.live
+        or args.metrics_port is not None
+        or args.snapshots
+        or args.alert_stop
+        or args.live_profile
+    )
+    if live_requested and not args.run_async:
+        print(
+            "error: --live/--metrics-port/--snapshots require --run-async",
+            file=sys.stderr,
+        )
+        return 2
+    live_cfg = None
+    if live_requested:
+        from .observe.live import LiveConfig
+
+        alert_stop = frozenset(
+            k.strip() for k in (args.alert_stop or "").split(",") if k.strip()
+        )
+        if args.snapshot_interval <= 0:
+            print("error: --snapshot-interval must be positive", file=sys.stderr)
+            return 2
+        live_cfg = LiveConfig(
+            interval_s=args.snapshot_interval,
+            metrics_port=args.metrics_port,
+            snapshot_path=args.snapshots,
+            profile=args.live_profile,
+            alert_stop=alert_stop,
+        )
     if args.run_async:
         if args.method == "mult":
             print("error: the multiplicative method cannot run asynchronously", file=sys.stderr)
@@ -183,7 +219,14 @@ def _cmd_solve(args) -> int:
             tracer = Tracer(clock=_BACKEND_CLOCK[args.backend])
         try:
             res, label = _dispatch_async(
-                args, solver, problem, faults, guard, tracer=tracer, churn=churn
+                args,
+                solver,
+                problem,
+                faults,
+                guard,
+                tracer=tracer,
+                churn=churn,
+                live=live_cfg,
             )
         except ValueError as exc:
             print(f"error: {exc}", file=sys.stderr)
@@ -199,6 +242,15 @@ def _cmd_solve(args) -> int:
         )
         if faults is not None or guard is not None:
             print(f"faults/guards: {res.telemetry.summary()}")
+        live_sum = getattr(res, "live_summary", None)
+        if live_sum is not None:
+            print(live_sum.oneline())
+            for alert in live_sum.alerts:
+                print(f"  alert: {alert.oneline()}")
+            if args.snapshots:
+                print(f"snapshots: wrote {args.snapshots} (view: repro top {args.snapshots})")
+            if live_sum.profile is not None and live_sum.profile.samples:
+                print(live_sum.profile.table())
         if elastic_requested and getattr(res, "membership", None):
             census = ", ".join(f"{k}={v}" for k, v in res.membership.items() if v)
             print(f"membership: {census}")
@@ -232,7 +284,9 @@ def _cmd_solve(args) -> int:
     return 0
 
 
-def _dispatch_async(args, solver, problem, faults, guard, tracer=None, churn=None):
+def _dispatch_async(
+    args, solver, problem, faults, guard, tracer=None, churn=None, live=None
+):
     """Run the chosen async backend; returns (result, display label)."""
     if args.backend == "engine":
         res = run_async_engine(
@@ -247,6 +301,7 @@ def _dispatch_async(args, solver, problem, faults, guard, tracer=None, churn=Non
             faults=faults,
             guard=guard,
             tracer=tracer,
+            live=live,
             # Traced runs want the residual-vs-time series; the engine
             # only snapshots residuals it is computing anyway.
             track_trace=tracer is not None,
@@ -263,6 +318,7 @@ def _dispatch_async(args, solver, problem, faults, guard, tracer=None, churn=Non
             faults=faults,
             guard=guard,
             tracer=tracer,
+            live=live,
         )
         label = f"threaded {args.method} ({args.rescomp}-res, {args.write}-write, {args.criterion})"
     else:  # distributed
@@ -280,6 +336,7 @@ def _dispatch_async(args, solver, problem, faults, guard, tracer=None, churn=Non
             faults=faults,
             guard=guard,
             tracer=tracer,
+            live=live,
             track_trace=tracer is not None,
             elastic=elastic,
             churn=churn,
@@ -445,6 +502,50 @@ def _add_solve_args(p: argparse.ArgumentParser) -> None:
         "'random:0.1@2.0,nranks=40,seed=1' "
         "(kinds: crash, stall, join, leave, random)",
     )
+    p.add_argument(
+        "--live",
+        action=argparse.BooleanOptionalAction,
+        default=False,
+        help="enable the live telemetry layer (streaming snapshots + "
+        "online anomaly detectors); implied by --metrics-port / "
+        "--snapshots",
+    )
+    p.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="serve OpenMetrics scrapes on 127.0.0.1:PORT while the "
+        "solve runs (0 = ephemeral port); implies --live",
+    )
+    p.add_argument(
+        "--snapshots",
+        default=None,
+        metavar="PATH",
+        help="stream live snapshots to a JSONL file (replay with "
+        "`repro top PATH`); implies --live",
+    )
+    p.add_argument(
+        "--snapshot-interval",
+        type=float,
+        default=0.1,
+        metavar="SECONDS",
+        help="live snapshot cadence in seconds (default: 0.1)",
+    )
+    p.add_argument(
+        "--live-profile",
+        action=argparse.BooleanOptionalAction,
+        default=False,
+        help="also run the sampling profiler (kernel x grid x worker "
+        "wall-time attribution) during a --live run",
+    )
+    p.add_argument(
+        "--alert-stop",
+        default=None,
+        metavar="KINDS",
+        help="comma-separated alert kinds that abort the run early "
+        "(e.g. 'divergence,stagnation'); requires --live",
+    )
 
 
 def _cmd_bench(args) -> int:
@@ -532,6 +633,52 @@ def _cmd_trace_export(args) -> int:
         write_residual_series(series, args.residuals)
         print(f"wrote residual series {args.residuals} ({len(series)} rows)")
     return 0
+
+
+def _cmd_top(args) -> int:
+    from .observe.live import read_snapshots_jsonl, render_top
+
+    def _render() -> int:
+        try:
+            meta, snaps = read_snapshots_jsonl(args.snapshot_file)
+        except OSError as exc:
+            print(f"error: cannot read snapshots: {exc}", file=sys.stderr)
+            return 2
+        if not snaps:
+            print(f"error: no snapshots in {args.snapshot_file}", file=sys.stderr)
+            return 2
+        print(render_top(meta, snaps))
+        return 0
+
+    if args.once:
+        return _render()
+    # Follow mode: re-read and re-render on a cadence until the file
+    # stops growing (watch-timeout with no new snapshot) or Ctrl-C.
+    import time as _time
+
+    last_seq = -1
+    idle_s = 0.0
+    try:
+        while True:
+            try:
+                meta, snaps = read_snapshots_jsonl(args.snapshot_file)
+            except OSError:
+                meta, snaps = {}, []
+            if snaps and snaps[-1].seq != last_seq:
+                last_seq = snaps[-1].seq
+                idle_s = 0.0
+                # ANSI clear + home keeps the panel in place on real
+                # terminals; harmless noise when redirected.
+                print("\x1b[2J\x1b[H", end="")
+                print(render_top(meta, snaps))
+            else:
+                idle_s += args.refresh
+                if idle_s >= args.watch_timeout:
+                    break
+            _time.sleep(args.refresh)
+    except KeyboardInterrupt:
+        pass
+    return 0 if last_seq >= 0 else 2
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -679,6 +826,32 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the (t, relres) series as CSV",
     )
     tp.set_defaults(func=_cmd_trace_export)
+
+    p = sub.add_parser(
+        "top",
+        help="refreshing terminal view of a live snapshot stream "
+        "(repro solve --live --snapshots FILE)",
+    )
+    p.add_argument("snapshot_file", help="JSONL snapshot stream from solve --snapshots")
+    p.add_argument(
+        "--once",
+        action="store_true",
+        help="render the latest state once and exit (CI / scripting)",
+    )
+    p.add_argument(
+        "--refresh",
+        type=float,
+        default=0.5,
+        help="follow-mode poll interval in seconds (default: 0.5)",
+    )
+    p.add_argument(
+        "--watch-timeout",
+        type=float,
+        default=10.0,
+        help="follow mode exits after this many seconds without a "
+        "new snapshot (default: 10)",
+    )
+    p.set_defaults(func=_cmd_top)
 
     p = sub.add_parser(
         "bench",

@@ -48,6 +48,7 @@ from ..resilience import FaultInjector, FaultPlan, FaultTelemetry, Guard, GuardP
 from .criteria import Criterion1, Criterion2
 
 if TYPE_CHECKING:  # runtime import would cycle through repro.observe
+    from ..observe.live import LiveConfig, LiveSummary
     from ..observe.tracer import Tracer, TraceSummary
 
 __all__ = ["AsyncEngineResult", "run_async_engine"]
@@ -95,6 +96,9 @@ class AsyncEngineResult:
     :class:`~repro.observe.Tracer` (None otherwise)."""
     kernel_backend: str = "numpy"
     """Active :mod:`repro.kernels` backend the run executed with."""
+    live_summary: Optional["LiveSummary"] = None
+    """Live-telemetry digest (snapshots, alerts, profile) when the run
+    was configured with ``live=LiveConfig(...)`` (None otherwise)."""
 
     @property
     def corrects(self) -> float:
@@ -200,6 +204,7 @@ def run_async_engine(
     faults: Optional[FaultPlan] = None,
     guard: Optional[GuardPolicy] = None,
     tracer: Optional["Tracer"] = None,
+    live: Optional["LiveConfig"] = None,
 ) -> AsyncEngineResult:
     """Run asynchronous additive multigrid (Algorithm 5), sequentially.
 
@@ -249,6 +254,17 @@ def run_async_engine(
         emitted for norms the run computes anyway (``track_trace`` or
         guard checkpoints), so tracing itself adds no SpMV.  The digest
         lands on ``result.trace_summary``.
+    live:
+        Optional :class:`~repro.observe.live.LiveConfig`.  Starts the
+        streaming snapshot collector (and optional scrape endpoint /
+        JSONL stream / sampling profiler) alongside the run; implies
+        tracing (a ``clock="steps"`` tracer is created when none was
+        given) and ``track_trace`` (detectors need residual events).
+        The live layer only *reads* — it never touches the RNG or the
+        iterate — so a live run's algorithmic results are identical to
+        the same run without it.  An ``alert_stop`` alert ends the run
+        early at the next correction boundary (reported as
+        ``stalled``).  The digest lands on ``result.live_summary``.
     """
     if checkpoints and criterion != "criterion2":
         raise ValueError("checkpoints require criterion2 semantics")
@@ -258,6 +274,16 @@ def run_async_engine(
         raise ValueError(f"write must be one of {_WRITE}")
     if nchunks < 1:
         raise ValueError("nchunks must be >= 1")
+    live_session = None
+    if live is not None:
+        from ..observe.live import start_live
+
+        if tracer is None:
+            from ..observe.tracer import Tracer as _Tracer
+
+            tracer = _Tracer(clock="steps")
+        track_trace = True  # detectors need residual events
+        live_session = start_live(live, tracer, backend="engine")
     n = solver.n
     ngrids = solver.ngrids
     rng = np.random.default_rng(seed)
@@ -363,6 +389,9 @@ def run_async_engine(
     diverged = False
     stalled = False
     while not diverged:
+        if live_session is not None and live_session.stop_requested:
+            stalled = True
+            break
         alive = [k for k in range(ngrids) if running[k] and not crashed[k]]
         if not alive:
             break
@@ -535,6 +564,9 @@ def run_async_engine(
         for kname, (calls, secs) in sorted(kernels.stats_delta(kstats0).items()):
             tracer.record("kernel", -1, float(micro), float(secs), float(calls), kname)
         kernels.enable_stats(stats_were_on)
+    # Final collection + teardown before the summary so alert events
+    # recorded by the collector are part of the merged trace.
+    live_summary = live_session.finish() if live_session is not None else None
     return AsyncEngineResult(
         x=x,
         rel_residual=rel,
@@ -549,4 +581,5 @@ def run_async_engine(
         telemetry=telemetry,
         trace_summary=tracer.summary() if tracer is not None else None,
         kernel_backend=kernels.current_backend(),
+        live_summary=live_summary,
     )

@@ -36,6 +36,7 @@ from .criteria import Criterion1, Criterion2
 from .writes import WritePolicy, make_write_policy
 
 if TYPE_CHECKING:  # runtime import would cycle through repro.observe
+    from ..observe.live import LiveConfig, LiveSummary
     from ..observe.tracer import TracedPolicy, Tracer, TraceSummary
 
 __all__ = ["ThreadedResult", "run_threaded"]
@@ -83,6 +84,9 @@ class ThreadedResult:
     :class:`~repro.observe.Tracer` (None otherwise)."""
     kernel_backend: str = "numpy"
     """Active :mod:`repro.kernels` backend the run executed with."""
+    live_summary: Optional["LiveSummary"] = None
+    """Live-telemetry digest (snapshots, alerts, profile) when the run
+    was configured with ``live=LiveConfig(...)`` (None otherwise)."""
 
     @property
     def corrects(self) -> float:
@@ -105,6 +109,7 @@ def run_threaded(
     guard: Optional[GuardPolicy] = None,
     policy_wrapper: Optional[Callable[[WritePolicy], WritePolicy]] = None,
     tracer: Optional["Tracer"] = None,
+    live: Optional["LiveConfig"] = None,
 ) -> ThreadedResult:
     """Run asynchronous additive multigrid with real threads.
 
@@ -141,9 +146,28 @@ def run_threaded(
     its own per-thread ring buffer (no cross-thread locking on the hot
     path), and the merged digest lands on ``result.trace_summary``.
     Event times are wall seconds from the run's start.
+
+    ``live`` (a :class:`~repro.observe.live.LiveConfig`) starts the
+    streaming snapshot collector alongside the run: a scrape endpoint
+    (``metrics_port``), a JSONL snapshot stream, optional sampling
+    profiler, and the online anomaly detectors.  Implies tracing (a
+    wall-clock tracer is created when none was given) and turns the
+    residual monitor on at the snapshot cadence when
+    ``monitor_interval`` is unset.  The collector only *samples* —
+    solve threads never see it — so algorithmic behaviour is
+    unchanged.  An ``alert_stop`` alert sets the run's stop event; the
+    aborted run is reported ``stalled`` (never ``diverged`` unless the
+    residual actually blew up).  Digest lands on
+    ``result.live_summary``.
     """
     if rescomp not in _RESCOMP:
         raise ValueError(f"rescomp must be one of {_RESCOMP}")
+    if live is not None and tracer is None:
+        from ..observe.tracer import Tracer as _Tracer
+
+        tracer = _Tracer(clock="s")
+    if live is not None and monitor_interval is None:
+        monitor_interval = live.interval_s  # detectors need residuals
     n = solver.n
     ngrids = solver.ngrids
     A = solver.A
@@ -205,6 +229,20 @@ def run_threaded(
     t0 = _time.perf_counter()
     if tracer is not None:
         tracer.restart_clock()  # event times = seconds since run start
+    live_session = None
+    if live is not None:
+        from ..observe.live import start_live
+
+        def _alert_stop() -> None:
+            # Stop first: the counter bump must never delay (or, if it
+            # ever raises, prevent) the abort itself.
+            stop_event.set()
+            telemetry.bump("alert_stops")
+
+        assert tracer is not None
+        live_session = start_live(
+            live, tracer, backend="threaded", stop_callback=_alert_stop
+        )
     deadline = t0 + timeout
     # Per-worker liveness: workers stamp their heartbeat each loop
     # iteration; the supervisor declares a worker hung/dead from these
@@ -430,14 +468,21 @@ def run_threaded(
         telemetry.merge(shard)
 
     rel = kernels.residual_norm(A, x, b) / nb
+    alert_stopped = live_session is not None and live_session.stop_requested
     diverged = (
-        (stop_event.is_set() and not timed_out and not stalled and not errors)
+        (
+            stop_event.is_set()
+            and not timed_out
+            and not stalled
+            and not alert_stopped
+            and not errors
+        )
         or not np.isfinite(rel)
         or rel > divergence_threshold
     )
     if (
         not diverged
-        and (timed_out or (faults is not None and faults.active))
+        and (timed_out or alert_stopped or (faults is not None and faults.active))
         and not crit.all_done()
     ):
         stalled = True
@@ -446,6 +491,9 @@ def run_threaded(
         for kname, (calls, secs) in sorted(kernels.stats_delta(kstats0).items()):
             tracer.record("kernel", -1, wall, float(secs), float(calls), kname)
         kernels.enable_stats(stats_were_on)
+    # Final collection + teardown before the summary so alert events
+    # recorded by the collector are part of the merged trace.
+    live_summary = live_session.finish() if live_session is not None else None
     return ThreadedResult(
         x=x,
         rel_residual=rel,
@@ -458,4 +506,5 @@ def run_threaded(
         telemetry=telemetry,
         trace_summary=tracer.summary() if tracer is not None else None,
         kernel_backend=kernels.current_backend(),
+        live_summary=live_summary,
     )

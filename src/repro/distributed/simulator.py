@@ -78,6 +78,7 @@ from .events import DedupIndex, EventHandle, IndexedEventQueue
 from .network import NetworkModel
 
 if TYPE_CHECKING:  # runtime import would cycle through repro.observe
+    from ..observe.live import LiveConfig, LiveSummary
     from ..observe.tracer import Tracer, TraceSummary
 
 __all__ = ["DistributedResult", "simulate_distributed"]
@@ -135,6 +136,9 @@ class DistributedResult:
     :class:`~repro.observe.Tracer` (None otherwise)."""
     kernel_backend: str = "numpy"
     """Active :mod:`repro.kernels` backend the run executed with."""
+    live_summary: Optional["LiveSummary"] = None
+    """Live-telemetry digest (snapshots, alerts, profile) when the run
+    was configured with ``live=LiveConfig(...)`` (None otherwise)."""
 
     @property
     def corrects(self) -> float:
@@ -157,6 +161,7 @@ def simulate_distributed(
     faults: Optional[FaultPlan] = None,
     guard: Optional[GuardPolicy] = None,
     tracer: Optional["Tracer"] = None,
+    live: Optional["LiveConfig"] = None,
     elastic: Optional[ElasticityPolicy] = None,
     churn: Optional[ChurnPlan] = None,
     nranks: Optional[int] = None,
@@ -197,6 +202,16 @@ def simulate_distributed(
         correction / staleness / guard / fault vocabulary, and the
         digest lands on ``result.trace_summary``.  Like the engine, a
         fixed seed reproduces the event stream exactly.
+    live:
+        Optional :class:`~repro.observe.live.LiveConfig`.  Runs the
+        streaming snapshot collector alongside the simulation; implies
+        tracing (a ``clock="sim"`` tracer is created when none was
+        given) and ``track_trace``.  Snapshots additionally carry the
+        event-queue depth and (elastic runs) the live membership
+        census.  The collector only reads, so results are unchanged;
+        an ``alert_stop`` alert ends the run at the next event pop
+        (reported as ``stalled``).  Digest lands on
+        ``result.live_summary``.
     elastic / churn / nranks:
         Elastic membership (see :mod:`repro.distributed.elastic`).
         Passing any of the three enables the rank-pool model:
@@ -211,6 +226,12 @@ def simulate_distributed(
         raise ValueError(f"strategy must be one of {_STRATEGIES}")
     if criterion not in ("criterion1", "criterion2"):
         raise ValueError("criterion must be criterion1 or criterion2")
+    if live is not None:
+        if tracer is None:
+            from ..observe.tracer import Tracer as _Tracer
+
+            tracer = _Tracer(clock="sim")
+        track_trace = True  # detectors need residual events
     net = network or NetworkModel(seed=seed)
     mach = machine or MachineParams()
     rng = np.random.default_rng(seed)
@@ -427,12 +448,26 @@ def simulate_distributed(
         stats_were_on = kernels.enable_stats(True)
         kstats0 = kernels.stats()
 
+    live_session = None
+    if live is not None:
+        from ..observe.live import start_live
+
+        assert tracer is not None
+        live_session = start_live(live, tracer, backend="distributed")
+        # Queue depth + live membership census ride on every snapshot.
+        live_session.collector.queue_depth_fn = lambda: float(len(q))
+        if elastic_on:
+            live_session.collector.membership_fn = mm.census
+
     ckpt_every = guard.checkpoint_interval * ngrids if grd is not None else 0
     wall = 0.0
     events = 0
     diverged = False
     stalled = False
     while q and not diverged:
+        if live_session is not None and live_session.stop_requested:
+            stalled = True
+            break
         t, kind, proc, payload = q.pop()
         if kind in _WALL_KINDS:
             wall = max(wall, t)
@@ -664,6 +699,9 @@ def simulate_distributed(
         for kname, (calls, secs) in sorted(kernels.stats_delta(kstats0).items()):
             tracer.record("kernel", -1, wall, float(secs), float(calls), kname)
         kernels.enable_stats(stats_were_on)
+    # Final collection + teardown before the summary so alert events
+    # recorded by the collector are part of the merged trace.
+    live_summary = live_session.finish() if live_session is not None else None
     return DistributedResult(
         x=x_true,
         rel_residual=float(rel),
@@ -683,4 +721,5 @@ def simulate_distributed(
         activity_trace=activity,
         trace_summary=tracer.summary() if tracer is not None else None,
         kernel_backend=kernels.current_backend(),
+        live_summary=live_summary,
     )

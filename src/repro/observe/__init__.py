@@ -21,11 +21,19 @@ simulator:
   the Section-III model quantities (empirical |Ψ(t)|, max observed
   delay vs δ, monotone reads, update fairness) from a recorded run
   and can feed the existing ``ModelConformanceReport``.
+- :mod:`repro.observe.live`      — the *in-flight* view:
+  :class:`SnapshotCollector` tails the ring buffers on a cadence into
+  typed :class:`LiveSnapshot` objects, served over OpenMetrics
+  (``--metrics-port``), streamed as JSONL, and watched by the online
+  anomaly detectors in :mod:`repro.observe.alerts`.
+- :mod:`repro.observe.profiler`  — low-rate sampling profiler
+  attributing wall time to kernel × grid × worker.
 
-CLI: ``repro trace run | report | export`` and ``repro solve
---trace out.jsonl``.
+CLI: ``repro trace run | report | export``, ``repro solve
+--trace out.jsonl`` and ``repro solve --live`` / ``repro top``.
 """
 
+from .alerts import Alert, Detector, default_detectors
 from .analyze import TraceAnalyzer
 from .events import Event
 from .exporters import (
@@ -38,7 +46,22 @@ from .exporters import (
     write_events_jsonl,
     write_residual_series,
 )
-from .metrics import Counter, Gauge, Histogram, Metrics
+from .live import (
+    LiveConfig,
+    LiveSession,
+    LiveSnapshot,
+    LiveSummary,
+    MetricsServer,
+    SnapshotCollector,
+    SnapshotWriter,
+    parse_openmetrics,
+    read_snapshots_jsonl,
+    render_top,
+    start_live,
+    to_openmetrics,
+)
+from .metrics import Counter, Gauge, Histogram, Metrics, diff_snapshots
+from .profiler import ProfileReport, SamplingProfiler
 from .tracer import TraceBuffer, TracedPolicy, Tracer, TraceSummary
 
 __all__ = [
@@ -52,6 +75,24 @@ __all__ = [
     "Histogram",
     "Metrics",
     "TraceAnalyzer",
+    "Alert",
+    "Detector",
+    "default_detectors",
+    "LiveConfig",
+    "LiveSession",
+    "LiveSnapshot",
+    "LiveSummary",
+    "MetricsServer",
+    "SnapshotCollector",
+    "SnapshotWriter",
+    "ProfileReport",
+    "SamplingProfiler",
+    "diff_snapshots",
+    "parse_openmetrics",
+    "read_snapshots_jsonl",
+    "render_top",
+    "start_live",
+    "to_openmetrics",
     "read_events_jsonl",
     "read_residual_series",
     "residual_series",

@@ -1,0 +1,406 @@
+"""Online anomaly detection over live snapshots.
+
+The post-hoc :class:`~repro.observe.analyze.TraceAnalyzer` can tell
+you *after* a run that it stagnated, oscillated, or blew through the
+paper's delay bound δ; this module makes the same judgements *while
+the solve runs*, from the :class:`~repro.observe.live.LiveSnapshot`
+stream.  Each :class:`Detector` is a small piece of sliding-window
+state updated once per snapshot (on the collector's thread, never on
+a solve thread); when it trips it returns an :class:`Alert`, which
+the collector records into the trace as a typed ``alert`` event and,
+optionally, feeds to the executor's stop hook so the existing guard
+machinery (rollback budgets, watchdog accounting) takes over.
+
+The detector contract is the hot-path contract of the whole observe
+layer, enforced statically by linter rule RPR011: ``update`` must not
+sleep, touch sockets or files, or acquire locks — it looks at the
+snapshot it was handed, updates its own windows, and returns.
+
+Detectors
+---------
+- :class:`StagnationDetector` — the windowed residual stopped
+  improving (Criterion-style progress, evaluated online).
+- :class:`DivergenceDetector` — the residual grew by a factor over
+  its windowed minimum (the live version of the executors'
+  ``divergence_threshold``, tripping long before 1e6).
+- :class:`OscillationDetector` — the residual alternates up/down with
+  significant amplitude: the signature of an unstable async
+  configuration that additive damping (Murray & Weinzierl,
+  arXiv:1903.10367) is designed to rescue.
+- :class:`StalenessDetector` — observed read staleness exceeded the
+  configured delay bound δ (Section III's model assumption, checked
+  in flight).
+- :class:`HeartbeatGapDetector` — one worker's event stream went
+  quiet while its peers kept progressing (a stall/crash seen from the
+  outside, before the supervisor's watchdog window closes).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Deque, Dict, List, Optional, Sequence, Tuple, Union
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from .live import LiveSnapshot
+
+__all__ = [
+    "Alert",
+    "Detector",
+    "StagnationDetector",
+    "DivergenceDetector",
+    "OscillationDetector",
+    "StalenessDetector",
+    "HeartbeatGapDetector",
+    "default_detectors",
+]
+
+#: alert kinds, as they appear in ``alert`` event tags
+ALERT_KINDS: Tuple[str, ...] = (
+    "stagnation",
+    "divergence",
+    "oscillation",
+    "staleness_spike",
+    "heartbeat_gap",
+)
+
+
+@dataclass(frozen=True)
+class Alert:
+    """One structured anomaly finding, raised mid-run.
+
+    ``value``/``threshold`` carry the measurement that tripped the
+    detector (what grew, and past what); ``grid`` is −1 for run-wide
+    conditions.  Alerts become ``alert`` events in the trace: ``a`` =
+    value, ``b`` = threshold, ``tag`` = kind.
+    """
+
+    kind: str
+    t_wall: float
+    t_event: float
+    value: float
+    threshold: float
+    message: str
+    grid: int = -1
+    worker: Union[int, str] = -1
+    severity: str = "warn"
+
+    def oneline(self) -> str:
+        where = f" grid {self.grid}" if self.grid >= 0 else ""
+        return (
+            f"[{self.severity}] {self.kind}{where}: {self.message} "
+            f"(value {self.value:.3g}, threshold {self.threshold:.3g})"
+        )
+
+
+class Detector:
+    """Base class: sliding-window state + a per-snapshot ``update``.
+
+    ``cooldown`` suppresses re-firing for that many subsequent
+    snapshots after a hit, so a persistent condition produces a
+    heartbeat of alerts rather than one per 100 ms tick.
+    """
+
+    kind: str = "abstract"
+
+    def __init__(self, cooldown: int = 10) -> None:
+        self.cooldown = int(cooldown)
+        self._quiet = 0
+
+    def update(self, snap: "LiveSnapshot") -> List[Alert]:
+        """Consume one snapshot; return the alerts it triggers."""
+        if self._quiet > 0:
+            self._quiet -= 1
+            self._observe(snap)
+            return []
+        alerts = self._check(snap)
+        if alerts:
+            self._quiet = self.cooldown
+        return alerts
+
+    # -- subclass hooks ------------------------------------------------
+    def _observe(self, snap: "LiveSnapshot") -> None:
+        """Window upkeep during cooldown (default: same as checking,
+        with the verdict discarded)."""
+        self._check(snap)
+
+    def _check(self, snap: "LiveSnapshot") -> List[Alert]:
+        raise NotImplementedError
+
+
+class _ResidualWindow(Detector):
+    """Shared plumbing: a deque of ``(t_event, residual)`` samples,
+    appended only when a snapshot carries a *new* residual reading."""
+
+    def __init__(self, window: int = 8, cooldown: int = 10) -> None:
+        super().__init__(cooldown=cooldown)
+        if window < 3:
+            raise ValueError("window must be >= 3")
+        self.window = int(window)
+        self._series: Deque[Tuple[float, float]] = deque(maxlen=window)
+
+    def _push(self, snap: "LiveSnapshot") -> bool:
+        """Append the snapshot's residual if it is a fresh sample;
+        True when the window is full and ready to judge."""
+        res = snap.residual
+        if res != res or res <= 0.0:  # NaN or unset
+            return False
+        if self._series and self._series[-1] == (snap.t_event, res):
+            return False  # no new reading since the last snapshot
+        self._series.append((snap.t_event, res))
+        return len(self._series) == self.window
+
+
+class StagnationDetector(_ResidualWindow):
+    """Residual improvement over the window fell below a floor.
+
+    Fires when the newest residual is no better than ``(1 -
+    min_improvement)`` times the oldest — i.e. the solve is burning
+    corrections without converging (the online analogue of a
+    Criterion-2 run that will never meet its tolerance).
+    """
+
+    kind = "stagnation"
+
+    def __init__(
+        self,
+        window: int = 8,
+        min_improvement: float = 0.01,
+        cooldown: int = 10,
+    ) -> None:
+        super().__init__(window=window, cooldown=cooldown)
+        self.min_improvement = float(min_improvement)
+
+    def _check(self, snap: "LiveSnapshot") -> List[Alert]:
+        if not self._push(snap):
+            return []
+        first = self._series[0][1]
+        last = self._series[-1][1]
+        threshold = first * (1.0 - self.min_improvement)
+        if last >= threshold:
+            return [
+                Alert(
+                    kind=self.kind,
+                    t_wall=snap.t_wall,
+                    t_event=snap.t_event,
+                    value=last,
+                    threshold=threshold,
+                    message=(
+                        f"residual improved <{self.min_improvement:.1%} over the "
+                        f"last {self.window} samples ({first:.3g} -> {last:.3g})"
+                    ),
+                )
+            ]
+        return []
+
+
+class DivergenceDetector(_ResidualWindow):
+    """Residual grew by ``growth_factor`` over its windowed minimum."""
+
+    kind = "divergence"
+
+    def __init__(
+        self,
+        window: int = 6,
+        growth_factor: float = 10.0,
+        cooldown: int = 5,
+    ) -> None:
+        super().__init__(window=window, cooldown=cooldown)
+        self.growth_factor = float(growth_factor)
+
+    def _check(self, snap: "LiveSnapshot") -> List[Alert]:
+        if not self._push(snap):
+            return []
+        lo = min(v for _, v in self._series)
+        last = self._series[-1][1]
+        threshold = lo * self.growth_factor
+        if lo > 0.0 and last > threshold:
+            return [
+                Alert(
+                    kind=self.kind,
+                    t_wall=snap.t_wall,
+                    t_event=snap.t_event,
+                    value=last,
+                    threshold=threshold,
+                    message=(
+                        f"residual grew {last / lo:.1f}x over its windowed "
+                        f"minimum {lo:.3g}"
+                    ),
+                    severity="critical",
+                )
+            ]
+        return []
+
+
+class OscillationDetector(_ResidualWindow):
+    """Residual alternates direction with significant amplitude.
+
+    ``min_flips`` direction changes within the window, each leg moving
+    by at least ``min_amplitude`` relatively, reads as instability —
+    the precursor of divergence under too-aggressive asynchrony.
+    """
+
+    kind = "oscillation"
+
+    def __init__(
+        self,
+        window: int = 8,
+        min_flips: int = 4,
+        min_amplitude: float = 0.05,
+        cooldown: int = 10,
+    ) -> None:
+        super().__init__(window=window, cooldown=cooldown)
+        self.min_flips = int(min_flips)
+        self.min_amplitude = float(min_amplitude)
+
+    def _check(self, snap: "LiveSnapshot") -> List[Alert]:
+        if not self._push(snap):
+            return []
+        values = [v for _, v in self._series]
+        flips = 0
+        prev_dir = 0
+        for a, b in zip(values, values[1:]):
+            if a <= 0.0:
+                continue
+            rel = (b - a) / a
+            if abs(rel) < self.min_amplitude:
+                continue
+            direction = 1 if rel > 0 else -1
+            if prev_dir and direction != prev_dir:
+                flips += 1
+            prev_dir = direction
+        if flips >= self.min_flips:
+            return [
+                Alert(
+                    kind=self.kind,
+                    t_wall=snap.t_wall,
+                    t_event=snap.t_event,
+                    value=float(flips),
+                    threshold=float(self.min_flips),
+                    message=(
+                        f"residual direction flipped {flips}x (>= "
+                        f"{self.min_amplitude:.0%} legs) within {self.window} samples"
+                    ),
+                )
+            ]
+        return []
+
+
+class StalenessDetector(Detector):
+    """Observed read staleness crossed the configured delay bound δ.
+
+    The paper's convergence results assume bounded delay; crossing
+    ``delta * factor`` live means the run left the regime its
+    configuration was chosen for.  Fires again only when the observed
+    maximum grows past the last reported one.
+    """
+
+    kind = "staleness_spike"
+
+    def __init__(self, delta: float, factor: float = 1.0, cooldown: int = 5) -> None:
+        super().__init__(cooldown=cooldown)
+        if delta <= 0:
+            raise ValueError("delta must be positive")
+        self.delta = float(delta)
+        self.factor = float(factor)
+        self._reported = 0.0
+
+    def _observe(self, snap: "LiveSnapshot") -> None:
+        pass  # no window to maintain
+
+    def _check(self, snap: "LiveSnapshot") -> List[Alert]:
+        bound = self.delta * self.factor
+        observed = snap.staleness_max
+        if observed > bound and observed > self._reported:
+            self._reported = observed
+            return [
+                Alert(
+                    kind=self.kind,
+                    t_wall=snap.t_wall,
+                    t_event=snap.t_event,
+                    value=observed,
+                    threshold=bound,
+                    message=(
+                        f"max read staleness {observed:g} epochs exceeds the "
+                        f"delta bound {bound:g}"
+                    ),
+                )
+            ]
+        return []
+
+
+class HeartbeatGapDetector(Detector):
+    """One worker's buffer went quiet while its peers kept moving.
+
+    Judged on the collector's wall clock from ``heartbeat_age`` (time
+    since each worker's last recorded event): an outlier is a worker
+    whose age exceeds ``factor`` times the median peer age and the
+    absolute floor ``min_gap_s``.  Fires once per quiet spell per
+    worker; a worker that resumes recording re-arms its alarm.
+    """
+
+    kind = "heartbeat_gap"
+
+    def __init__(
+        self, factor: float = 5.0, min_gap_s: float = 0.5, cooldown: int = 0
+    ) -> None:
+        super().__init__(cooldown=cooldown)
+        self.factor = float(factor)
+        self.min_gap_s = float(min_gap_s)
+        self._flagged: Dict[Union[int, str], bool] = {}
+
+    def _observe(self, snap: "LiveSnapshot") -> None:
+        pass
+
+    def _check(self, snap: "LiveSnapshot") -> List[Alert]:
+        ages = snap.heartbeat_age
+        if len(ages) < 2:
+            return []
+        ordered = sorted(ages.values())
+        median = ordered[len(ordered) // 2]
+        threshold = max(self.min_gap_s, self.factor * median)
+        alerts: List[Alert] = []
+        for worker, age in ages.items():
+            if age > threshold:
+                if not self._flagged.get(worker, False):
+                    self._flagged[worker] = True
+                    alerts.append(
+                        Alert(
+                            kind=self.kind,
+                            t_wall=snap.t_wall,
+                            t_event=snap.t_event,
+                            value=age,
+                            threshold=threshold,
+                            message=(
+                                f"worker {worker!r} silent for {age:.2f}s "
+                                f"(median peer age {median:.3f}s)"
+                            ),
+                            grid=snap.worker_grids.get(worker, -1),
+                            worker=worker,
+                        )
+                    )
+            else:
+                self._flagged[worker] = False
+        return alerts
+
+
+def default_detectors(delta: Optional[float] = None) -> List[Detector]:
+    """The stock panel: stagnation + divergence + oscillation +
+    heartbeat gaps, plus the staleness check when a δ bound is given."""
+    dets: List[Detector] = [
+        StagnationDetector(),
+        DivergenceDetector(),
+        OscillationDetector(),
+        HeartbeatGapDetector(),
+    ]
+    if delta is not None:
+        dets.append(StalenessDetector(delta))
+    return dets
+
+
+def alerts_by_kind(alerts: Sequence[Alert]) -> Dict[str, int]:
+    """Head-count per alert kind (the snapshot/summary census shape)."""
+    out: Dict[str, int] = {}
+    for a in alerts:
+        out[a.kind] = out.get(a.kind, 0) + 1
+    return out

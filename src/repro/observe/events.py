@@ -48,6 +48,15 @@ kind               meaning of ``a`` / ``b`` / ``tag``
                    (grid −1); ``a`` = accumulated wall seconds, ``b`` =
                    call count, ``tag`` = kernel name (see
                    :data:`repro.kernels.KERNEL_NAMES`)
+``alert``          an online anomaly detector fired (see
+                   :mod:`repro.observe.alerts`); ``a`` = observed
+                   value, ``b`` = the threshold it crossed, ``tag`` =
+                   alert kind (``stagnation``, ``divergence``,
+                   ``oscillation``, ``staleness_spike``,
+                   ``heartbeat_gap``); ``grid`` is the implicated grid
+                   (−1 when run-wide).  Recorded from the live
+                   snapshot collector's own buffer (worker ``"live"``),
+                   never from a solve thread.
 =================  ====================================================
 
 The ``t`` field follows the recording backend's clock (see the
@@ -74,6 +83,7 @@ __all__ = [
     "MEMBER",
     "RETRY",
     "KERNEL",
+    "ALERT",
     "EVENT_KINDS",
     "Event",
 ]
@@ -89,6 +99,7 @@ MSG = "msg"
 MEMBER = "member"
 RETRY = "retry"
 KERNEL = "kernel"
+ALERT = "alert"
 
 EVENT_KINDS: Tuple[str, ...] = (
     CORRECT_BEGIN,
@@ -102,6 +113,7 @@ EVENT_KINDS: Tuple[str, ...] = (
     MEMBER,
     RETRY,
     KERNEL,
+    ALERT,
 )
 
 

@@ -23,6 +23,7 @@ from pathlib import Path
 from typing import IO, Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from .events import (
+    ALERT,
     CORRECT_BEGIN,
     CORRECT_END,
     FAULT,
@@ -156,7 +157,7 @@ def to_chrome_trace(
                         "args": {"relres": ev.a},
                     }
                 )
-        elif ev.kind in (GUARD, FAULT, MEMBER, RETRY):
+        elif ev.kind in (GUARD, FAULT, MEMBER, RETRY, ALERT):
             out.append(
                 {
                     "name": f"{ev.kind}:{ev.tag}",

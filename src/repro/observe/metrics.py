@@ -28,6 +28,7 @@ __all__ = [
     "Gauge",
     "Histogram",
     "Metrics",
+    "diff_snapshots",
     "STALENESS_BUCKETS",
     "LOCK_WAIT_BUCKETS_S",
 ]
@@ -173,7 +174,22 @@ class Metrics:
         return self
 
     def collect(self) -> Dict[str, object]:
-        """One snapshot of everything registered, providers included."""
+        """One snapshot of everything registered, providers included.
+
+        A provider raising mid-collect does not abort the snapshot:
+        the failing provider is skipped for this collection and the
+        ``collect_errors`` counter is bumped, so one broken external
+        owner cannot black out every other metric (live scrapes run
+        ``collect()`` while the providers' owners are still mutating).
+        """
+        providers: Dict[str, Dict[str, float]] = {}
+        for name, p in sorted(self._providers.items()):
+            try:
+                providers[name] = dict(p())
+            except Exception:
+                # Skip-and-count: the counter is read below, so the
+                # failure is visible in the very snapshot it degraded.
+                self.counter("collect_errors").inc()
         return {
             "counters": {n: c.value for n, c in sorted(self._counters.items())},
             "gauges": {
@@ -184,8 +200,24 @@ class Metrics:
             "histograms": {
                 n: h.to_dict() for n, h in sorted(self._histograms.items())
             },
-            "providers": {n: dict(p()) for n, p in sorted(self._providers.items())},
+            "providers": providers,
         }
+
+    def flatten(self) -> Dict[str, float]:
+        """Counters, gauges and provider values as one flat
+        ``{name: value}`` dict (provider entries as ``provider.name``)
+        — the shape :func:`diff_snapshots` and the live exporters eat."""
+        snap = self.collect()
+        flat: Dict[str, float] = {}
+        counters: Dict[str, float] = snap["counters"]  # type: ignore[assignment]
+        gauges: Dict[str, float] = snap["gauges"]  # type: ignore[assignment]
+        providers: Dict[str, Dict[str, float]] = snap["providers"]  # type: ignore[assignment]
+        flat.update(counters)
+        flat.update(gauges)
+        for pname, values in providers.items():
+            for name, value in values.items():
+                flat[f"{pname}.{name}"] = float(value)
+        return flat
 
     def format(self) -> str:
         """Human-readable multi-line dump of the current snapshot."""
@@ -204,3 +236,22 @@ class Metrics:
             for name, value in sorted(counters.items()):
                 lines.append(f"{pname}.{name} = {value:g}")
         return "\n".join(lines) if lines else "(no metrics)"
+
+
+def diff_snapshots(
+    old: Dict[str, float], new: Dict[str, float], dt: Optional[float] = None
+) -> Dict[str, float]:
+    """Per-name deltas between two :meth:`Metrics.flatten` snapshots.
+
+    Counters that went *down* (a restarted shard, a re-registered
+    provider) clamp to zero rather than reporting a negative rate.
+    With ``dt`` the deltas are divided through to per-second rates —
+    the live layer's ``corrections/s`` and ``messages/s`` numbers.
+    """
+    out: Dict[str, float] = {}
+    for name, value in new.items():
+        delta = value - old.get(name, 0.0)
+        if delta < 0.0:
+            delta = 0.0
+        out[name] = delta / dt if dt else delta
+    return out

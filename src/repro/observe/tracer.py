@@ -32,7 +32,7 @@ from typing import Dict, Iterator, List, Optional, Tuple, Union
 import numpy as np
 
 from ..core.writes import AtomicWrite, LockWrite, WritePolicy
-from .events import CORRECT_END, READ, RESIDUAL, WRITE, Event
+from .events import ALERT, CORRECT_END, READ, RESIDUAL, WRITE, Event
 from .metrics import LOCK_WAIT_BUCKETS_S, STALENESS_BUCKETS, Metrics
 
 __all__ = ["TraceBuffer", "Tracer", "TraceSummary", "TracedPolicy"]
@@ -85,6 +85,44 @@ class TraceBuffer:
         yield from self.records[self._head :]
         yield from self.records[: self._head]
 
+    def position(self) -> int:
+        """Total records ever appended (``len + dropped``) — the
+        cursor value a tail reader compares against."""
+        return len(self.records) + self.dropped
+
+    def tail(self, cursor: int) -> Tuple[int, List[tuple]]:
+        """Records appended since ``cursor``, oldest-first, without
+        copying the full ring.
+
+        Returns ``(new_cursor, records)`` where ``new_cursor`` is the
+        buffer position the read observed — pass it back on the next
+        call.  If more than ``capacity`` records landed since the
+        cursor, only the latest ``capacity`` are returned (the rest
+        were overwritten).  Safe to call from a *sampling* thread while
+        the owner appends: list append/index assignment are atomic
+        under the GIL, so the worst case is a torn read near the head
+        returning a record twice or one snapshot late — acceptable for
+        telemetry, never for correctness-bearing analysis (use
+        :meth:`Tracer.events` after the run for that).
+        """
+        pos = self.position()
+        missed = pos - cursor
+        if missed <= 0:
+            return pos, []
+        n = len(self.records)
+        take = missed if missed < n else n
+        head = self._head
+        if head == 0 or take <= 0:
+            out = self.records[n - take :]
+        else:
+            # Ring order is records[head:] + records[:head]; the last
+            # `take` of that sequence, via at most two slices.
+            if take <= head:
+                out = self.records[head - take : head]
+            else:
+                out = self.records[head - take + n :] + self.records[:head]
+        return pos, out
+
 
 @dataclass
 class TraceSummary:
@@ -109,6 +147,7 @@ class TraceSummary:
     lock_wait_max: float = 0.0
     residual_first: float = float("nan")
     residual_last: float = float("nan")
+    alerts: int = 0
     per_grid_counts: Dict[int, int] = field(default_factory=dict)
 
     def oneline(self) -> str:
@@ -163,6 +202,17 @@ class Tracer:
         key: WorkerKey = grid if worker is None else worker
         self._thread_worker[threading.get_ident()] = (key, grid)
         self.buffer(key)
+
+    def buffers(self) -> Dict[WorkerKey, TraceBuffer]:
+        """Live view of the per-worker buffers, for *sampling* readers
+        (the snapshot collector).  Treat as read-only; iterate over
+        ``list(...)`` since workers may still be registering."""
+        return self._buffers
+
+    def worker_threads(self) -> Dict[int, Tuple[WorkerKey, int]]:
+        """Snapshot of the thread-ident → (worker, grid) registry (the
+        sampling profiler's attribution table)."""
+        return dict(self._thread_worker)
 
     def _current(self) -> Tuple[WorkerKey, int]:
         ent = self._thread_worker.get(threading.get_ident())
@@ -257,7 +307,7 @@ class Tracer:
         per_grid: Dict[int, int] = {}
         stal: List[float] = []
         waits: List[float] = []
-        reads = writes = 0
+        reads = writes = alerts = 0
         res_first = res_last = float("nan")
         for ev in events:
             if ev.kind == CORRECT_END:
@@ -273,6 +323,8 @@ class Tracer:
                 if np.isnan(res_first):
                     res_first = ev.a
                 res_last = ev.a
+            elif ev.kind == ALERT:
+                alerts += 1
         span = events[-1].t - events[0].t if len(events) > 1 else 0.0
         return TraceSummary(
             clock=self.clock,
@@ -289,6 +341,7 @@ class Tracer:
             lock_wait_max=max(waits) if waits else 0.0,
             residual_first=res_first,
             residual_last=res_last,
+            alerts=alerts,
             per_grid_counts=per_grid,
         )
 

@@ -50,6 +50,8 @@ class FaultTelemetry:
       restored after a residual spike or divergence.
     - ``watchdog_detections`` — grids/processes declared dead or hung
       by the staleness watchdog/heartbeat monitor.
+    - ``alert_stops`` — runs aborted early by a live anomaly alert
+      (the ``alert_stop`` policy of :mod:`repro.observe.live`).
     - ``restarts`` — crashed grids/processes restarted and re-synced.
     - ``retransmissions`` — dropped messages re-sent (with backoff).
     - ``messages_lost`` — messages abandoned after exhausting retries
@@ -95,6 +97,7 @@ class FaultTelemetry:
     checkpoints: int = 0
     rollbacks: int = 0
     watchdog_detections: int = 0
+    alert_stops: int = 0
     restarts: int = 0
     retransmissions: int = 0
     messages_lost: int = 0

@@ -149,3 +149,26 @@ def _rpr010_under_b(data):
     # RPR010: acquires A while the caller holds B.
     with _order_lock_a:
         data[0] = 2.0
+
+
+_buffer_lock = threading.Lock()
+
+
+def on_snapshot_blocking(snap, sink, sock):
+    # RPR011: blocking work inside a live snapshot callback.
+    time.sleep(0.1)
+    fh = open("/tmp/snap.json", "a")
+    fh.write(str(snap))
+    sock.sendall(b"snap")
+    _buffer_lock.acquire()
+
+
+class FixtureStallDetector:
+    # RPR011: detector update doing I/O instead of pure math.
+    def update(self, snap):
+        with open("/tmp/alerts.log") as fh:
+            return fh.readline()
+
+    def _check(self, snap):
+        time.sleep(0.01)
+        return None

@@ -18,6 +18,7 @@ ALL_CODES = (
     "RPR008",
     "RPR009",
     "RPR010",
+    "RPR011",
 )
 
 
@@ -159,6 +160,47 @@ class TestFixtureViolations:
         msgs = [f.message for f in active if f.code == "RPR010"]
         assert len(msgs) == 2
         assert all("opposite order" in m for m in msgs)
+
+    def test_rpr011_counts_and_kinds(self):
+        active, _ = lint_fixture()
+        msgs = [f.message for f in active if f.code == "RPR011"]
+        # on_snapshot_blocking: sleep, open, .write, .sendall, .acquire;
+        # FixtureStallDetector.update: open, .readline; _check: sleep.
+        assert len(msgs) == 8
+        assert any("time.sleep()" in m for m in msgs)
+        assert any("open()" in m for m in msgs)
+        assert any(".write()" in m for m in msgs)
+        assert any(".sendall()" in m for m in msgs)
+        assert any(".acquire()" in m for m in msgs)
+        assert any(".readline()" in m for m in msgs)
+
+    def test_rpr011_scoped_to_observe_live_modules(self):
+        source = "import time\ndef on_snapshot(s):\n    time.sleep(1)\n"
+        active, _ = lint_source(source, "core/engine.py")
+        assert not any(f.code == "RPR011" for f in active)
+        active, _ = lint_source(source, "observe/live.py")
+        assert any(f.code == "RPR011" for f in active)
+
+    def test_rpr011_ignores_pure_detectors_and_plain_defs(self):
+        source = (
+            "import time\n"
+            "class QuietDetector:\n"
+            "    def update(self, snap):\n"
+            "        return max(snap)\n"
+            "def writer_thread(fh):\n"
+            "    # not a callback: I/O is allowed in the sinks.\n"
+            "    fh.write('x')\n"
+            "    time.sleep(0.1)\n"
+        )
+        active, _ = lint_source(source, "observe/live.py")
+        assert not any(f.code == "RPR011" for f in active)
+
+    def test_rpr011_bare_sleep_import(self):
+        source = "from time import sleep\ndef _on_alert(a):\n    sleep(0.5)\n"
+        active, _ = lint_source(source, "observe/alerts.py")
+        msgs = [f.message for f in active if f.code == "RPR011"]
+        assert len(msgs) == 1
+        assert "sleep()" in msgs[0]
 
     def test_findings_carry_hint_and_location(self):
         active, _ = lint_fixture()
