@@ -21,11 +21,12 @@ from repro.problems import build_problem
 from repro.problems.registry import table1_sizes
 from repro.utils import env_float, env_int, format_table
 
-from _common import emit
+from _common import commit_hash, emit, emit_payload, identity_block
 
 ALPHA = 0.7  # modest imbalance: realistic for one NUMA node
 NTHREADS = 272
 TOL_DEFAULT = 1e-9
+SCHEMA = "repro.bench_table1/1"
 
 
 def _smoother_configs(full: bool):
@@ -77,7 +78,29 @@ def _run_matrix(name, runs, tol, max_cycles=250):
                 title=f"-- smoother: {col_label} --",
             )
         )
-    return "\n\n".join(parts), blocks
+    # Schema-versioned payload twin of the text table.  The identity
+    # block pins these as MODELED numbers (perfmodel seconds at the
+    # measured cycle count, nthreads simulated) — never to be compared
+    # against a measured `BENCH_parallel.json` row as if like-for-like.
+    payload = {
+        "schema": SCHEMA,
+        "commit": commit_hash(),
+        "identity": identity_block(
+            "perfmodel", measured=False, nthreads_modeled=NTHREADS
+        ),
+        "problem": {"set": name, "size": size, "n": p.n, "nnz": p.nnz, "tol": tol},
+        "smoothers": [
+            {
+                "smoother": col_label,
+                "rows": [
+                    {"method": m, "time_s": t, "corrects": c, "vcycles": v}
+                    for m, t, c, v in rows
+                ],
+            }
+            for col_label, rows in blocks
+        ],
+    }
+    return "\n\n".join(parts), blocks, payload
 
 
 def _tol(name):
@@ -117,36 +140,40 @@ def _check_paper_shape(blocks):
 
 
 def test_table1_7pt(benchmark, results_dir, runs):
-    text, blocks = benchmark.pedantic(
+    text, blocks, payload = benchmark.pedantic(
         lambda: _run_matrix("7pt", runs, _tol("7pt")), iterations=1, rounds=1
     )
     emit(results_dir, "table1_7pt", text)
+    emit_payload(results_dir, "table1_7pt", payload)
     _check_paper_shape(blocks)
 
 
 def test_table1_27pt(benchmark, results_dir, runs):
-    text, blocks = benchmark.pedantic(
+    text, blocks, payload = benchmark.pedantic(
         lambda: _run_matrix("27pt", runs, _tol("27pt")), iterations=1, rounds=1
     )
     emit(results_dir, "table1_27pt", text)
+    emit_payload(results_dir, "table1_27pt", payload)
     _check_paper_shape(blocks)
 
 
 def test_table1_mfem_laplace(benchmark, results_dir, runs):
-    text, blocks = benchmark.pedantic(
+    text, blocks, payload = benchmark.pedantic(
         lambda: _run_matrix("mfem_laplace", runs, _tol("mfem_laplace")),
         iterations=1,
         rounds=1,
     )
     emit(results_dir, "table1_mfem_laplace", text)
+    emit_payload(results_dir, "table1_mfem_laplace", payload)
     assert blocks  # table produced; divergences allowed on this set
 
 
 def test_table1_mfem_elasticity(benchmark, results_dir, runs):
-    text, blocks = benchmark.pedantic(
+    text, blocks, payload = benchmark.pedantic(
         lambda: _run_matrix("mfem_elasticity", runs, _tol("mfem_elasticity"), max_cycles=300),
         iterations=1,
         rounds=1,
     )
     emit(results_dir, "table1_mfem_elasticity", text)
+    emit_payload(results_dir, "table1_mfem_elasticity", payload)
     assert blocks

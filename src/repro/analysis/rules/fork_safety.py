@@ -1,0 +1,190 @@
+"""RPR012 — the procs executor must stay spawn/fork-safe.
+
+``repro.core.parallel`` workers are *spawned*: each child re-imports
+the module from scratch, so any module-level mutable state (a dict of
+locks, a cached array, a ``threading.Lock``) silently forks into
+per-process copies that look shared but aren't — the classic
+fork-safety trap.  The module's contract is therefore:
+
+- **no module-level mutable containers or synchronization objects** —
+  module constants must be immutable (tuples, frozensets, numbers,
+  strings).  Anything per-run travels through ``Process`` args or the
+  shared segment; anything per-process is built inside the worker.
+- **shared views only through** :class:`~repro.core.parallel.SharedVectors`
+  — ``np.frombuffer`` over the segment buffer is how a view escapes
+  the teardown discipline (close-before-unlink, unlink-exactly-once),
+  so the helper is the single place allowed to construct one.
+
+This rule flags, in ``core/parallel.py``: module-level assignments of
+mutable literals (list/dict/set displays and comprehensions), calls to
+mutable constructors (``list``/``dict``/``set``/``deque``/
+``defaultdict``/``Counter``/``OrderedDict``), numpy array constructors,
+``threading``/``multiprocessing`` primitives (``Lock``/``RLock``/
+``Event``/``Condition``/``Semaphore``/``Queue``) — and any
+``np.frombuffer`` call outside the ``SharedVectors`` class body.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Set
+
+from . import Finding, Rule
+
+__all__ = ["ForkSafetyRule"]
+
+#: constructor names whose module-level call creates mutable state.
+_MUTABLE_CONSTRUCTORS = {
+    "list",
+    "dict",
+    "set",
+    "bytearray",
+    "deque",
+    "defaultdict",
+    "OrderedDict",
+    "Counter",
+}
+
+#: synchronization primitives that must never live at module level —
+#: a spawn child rebuilding the module gets a fresh, unrelated object.
+_SYNC_CONSTRUCTORS = {
+    "Lock",
+    "RLock",
+    "Event",
+    "Condition",
+    "Semaphore",
+    "BoundedSemaphore",
+    "Barrier",
+    "Queue",
+    "SimpleQueue",
+}
+
+#: numpy allocators — a module-level array is per-process storage
+#: masquerading as shared state.
+_NUMPY_ALLOCATORS = {
+    "array",
+    "zeros",
+    "ones",
+    "empty",
+    "full",
+    "frombuffer",
+    "arange",
+}
+
+_MUTABLE_DISPLAYS = (
+    ast.List,
+    ast.Dict,
+    ast.Set,
+    ast.ListComp,
+    ast.DictComp,
+    ast.SetComp,
+)
+
+
+def _numpy_aliases(tree: ast.AST) -> Set[str]:
+    aliases: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "numpy":
+                    aliases.add(alias.asname or "numpy")
+    return aliases
+
+
+class ForkSafetyRule(Rule):
+    code = "RPR012"
+    name = "procs-fork-safety"
+    description = (
+        "no fork-unsafe module-level state in the procs executor; "
+        "shared-memory views only via the SharedVectors helper"
+    )
+    hint = (
+        "ship per-run state through Process args or the shared segment, "
+        "build per-process state inside the worker, and construct "
+        "np.frombuffer views only in SharedVectors"
+    )
+    scope = ("core/parallel.py",)
+
+    def check(self, tree: ast.AST, source: str, relpath: str) -> List[Finding]:
+        findings: List[Finding] = []
+        np_names = _numpy_aliases(tree)
+
+        def mutable_value(value: ast.AST) -> str:
+            """Why a module-level assigned value is fork-unsafe ('' = safe)."""
+            if isinstance(value, _MUTABLE_DISPLAYS):
+                return f"a {type(value).__name__.lower()} literal"
+            if isinstance(value, ast.Call):
+                fn = value.func
+                name = (
+                    fn.id
+                    if isinstance(fn, ast.Name)
+                    else fn.attr if isinstance(fn, ast.Attribute) else ""
+                )
+                if name in _MUTABLE_CONSTRUCTORS:
+                    return f"{name}()"
+                if name in _SYNC_CONSTRUCTORS:
+                    return f"a {name}() synchronization primitive"
+                if (
+                    isinstance(fn, ast.Attribute)
+                    and isinstance(fn.value, ast.Name)
+                    and fn.value.id in np_names
+                    and fn.attr in _NUMPY_ALLOCATORS
+                ):
+                    return f"{fn.value.id}.{fn.attr}()"
+            return ""
+
+        # -- module-level mutable state --------------------------------
+        if not isinstance(tree, ast.Module):  # pragma: no cover - guard
+            return findings
+        for stmt in tree.body:
+            if isinstance(stmt, ast.Assign):
+                targets = stmt.targets
+                value = stmt.value
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                targets = [stmt.target]
+                value = stmt.value
+            else:
+                continue
+            plain = [t.id for t in targets if isinstance(t, ast.Name)]
+            if plain and all(n.startswith("__") and n.endswith("__") for n in plain):
+                continue  # __all__ and friends: module metadata, never shared
+            why = mutable_value(value)
+            if not why:
+                continue
+            names = ", ".join(plain) or "<target>"
+            findings.append(
+                self.finding(
+                    relpath,
+                    stmt,
+                    f"module-level mutable state '{names}' ({why}) — "
+                    "spawn children re-import the module and get a "
+                    "private copy that only looks shared",
+                )
+            )
+
+        # -- np.frombuffer outside SharedVectors -----------------------
+        inside: Set[int] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ClassDef) and node.name == "SharedVectors":
+                for sub in ast.walk(node):
+                    inside.add(id(sub))
+        for node in ast.walk(tree):
+            if id(node) in inside or not isinstance(node, ast.Call):
+                continue
+            fn = node.func
+            if (
+                isinstance(fn, ast.Attribute)
+                and fn.attr == "frombuffer"
+                and isinstance(fn.value, ast.Name)
+                and fn.value.id in np_names
+            ):
+                findings.append(
+                    self.finding(
+                        relpath,
+                        node,
+                        "np.frombuffer outside SharedVectors — raw views "
+                        "over the shared segment escape the "
+                        "close-before-unlink teardown discipline",
+                    )
+                )
+        return findings

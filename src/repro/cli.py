@@ -61,7 +61,7 @@ from .core import (
     simulate_full_async_solution,
     simulate_semi_async,
 )
-from .core import run_threaded
+from .core import run_procs, run_threaded
 from .distributed import (
     ElasticityPolicy,
     NetworkModel,
@@ -77,7 +77,7 @@ from .utils import format_table
 __all__ = ["main"]
 
 #: Event-time unit per async backend (see repro.observe.Tracer).
-_BACKEND_CLOCK = {"engine": "steps", "threaded": "s", "distributed": "sim"}
+_BACKEND_CLOCK = {"engine": "steps", "threaded": "s", "procs": "s", "distributed": "sim"}
 
 
 def _add_problem_args(p: argparse.ArgumentParser) -> None:
@@ -156,6 +156,15 @@ def _cmd_solve(args) -> int:
     guard = GuardPolicy() if args.guards else None
     if (faults is not None or guard is not None) and not args.run_async:
         print("error: --faults/--guards require --run-async", file=sys.stderr)
+        return 2
+    if (args.workers is not None or args.deterministic) and not (
+        args.run_async and args.backend == "procs"
+    ):
+        print(
+            "error: --workers/--deterministic require --run-async "
+            "--backend procs",
+            file=sys.stderr,
+        )
         return 2
     elastic_requested = bool(
         args.elastic or args.churn is not None or args.ranks is not None
@@ -321,6 +330,28 @@ def _dispatch_async(
             live=live,
         )
         label = f"threaded {args.method} ({args.rescomp}-res, {args.write}-write, {args.criterion})"
+    elif args.backend == "procs":
+        res = run_procs(
+            solver,
+            problem.b,
+            tmax=args.tmax,
+            rescomp=args.rescomp,
+            write=args.write,
+            criterion=args.criterion,
+            workers=args.workers,
+            deterministic=args.deterministic,
+            alpha=args.alpha,
+            seed=args.seed,
+            faults=faults,
+            guard=guard,
+            tracer=tracer,
+            live=live,
+        )
+        mode = "deterministic" if args.deterministic else f"{args.write}-write"
+        label = (
+            f"procs[{res.workers}] {args.method} "
+            f"({args.rescomp}-res, {mode}, {args.criterion})"
+        )
     else:  # distributed
         elastic = None
         if args.elastic or churn is not None or args.ranks is not None:
@@ -448,10 +479,27 @@ def _add_solve_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument(
         "--backend",
-        choices=("engine", "threaded", "distributed"),
+        choices=("engine", "threaded", "procs", "distributed"),
         default="engine",
-        help="async executor: deterministic engine, real threads, or "
-        "the distributed discrete-event simulator",
+        help="async executor: deterministic engine, real threads, "
+        "true-parallel worker processes over shared memory, or the "
+        "distributed discrete-event simulator",
+    )
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker-process count for --backend procs (default: "
+        "min(ngrids, cpu count); each worker owns a group of grids)",
+    )
+    p.add_argument(
+        "--deterministic",
+        action=argparse.BooleanOptionalAction,
+        default=False,
+        help="with --backend procs --workers 1: run the sequential "
+        "engine schedule inside the single worker, bit-identical to "
+        "--backend engine",
     )
     p.add_argument(
         "--faults",

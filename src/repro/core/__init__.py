@@ -16,6 +16,9 @@
   Algorithm 5 (global-res and local-res) with deterministic seeding.
 - :mod:`repro.core.threaded`  — the real-thread shared-memory executor
   (one worker per grid, Python ``threading``).
+- :mod:`repro.core.parallel`  — the true-parallel executor (one worker
+  *process* per thread-group over ``SharedMemory`` vectors; the GIL
+  escape that makes wall-clock speedups measurable).
 - :mod:`repro.core.perfmodel` — the discrete-event machine model that
   regenerates Table I / Fig 6 wall-clock shapes.
 """
@@ -32,6 +35,12 @@ from .criteria import Criterion1, Criterion2
 from .writes import WritePolicy, LockWrite, AtomicWrite, UnsafeWrite, make_write_policy
 from .engine import AsyncEngineResult, run_async_engine
 from .threaded import run_threaded
+from .parallel import (
+    ProcsResult,
+    SetupBundle,
+    SharedVectors,
+    run_procs,
+)
 from .perfmodel import MachineParams, PerfModel
 
 __all__ = [
@@ -52,6 +61,10 @@ __all__ = [
     "AsyncEngineResult",
     "run_async_engine",
     "run_threaded",
+    "ProcsResult",
+    "SetupBundle",
+    "SharedVectors",
+    "run_procs",
     "MachineParams",
     "PerfModel",
 ]

@@ -1,0 +1,1323 @@
+"""True-parallel shared-memory executor (``--backend procs``).
+
+One worker **process** per thread-group runs the Algorithm-5 loop
+against vectors living in a single
+:class:`multiprocessing.shared_memory.SharedMemory` block, np-viewed
+zero-copy in every worker — the GIL-free counterpart of
+:mod:`repro.core.threaded`.  Where the threaded executor delivers
+genuine interleaving but no speedup, this executor delivers real
+parallel wall-clock behaviour: the measured Fig.-6 curves come from
+here.
+
+Design notes
+------------
+
+**Memory layout.**  Everything shared lives in one segment, laid out by
+:class:`_Layout` (all slots are 8-byte aligned float64/int64): the
+iterate ``x``, residual ``r`` and RHS ``b`` (each ``n x k``), seqlock
+words for both guarded vectors, per-grid correction counts, control
+flags (stop / criterion-2 done / deterministic done), per-worker
+heartbeats, exit status, telemetry shards and trace rings.  NumPy views
+into the segment are constructed **only** inside
+:class:`SharedVectors` (linter rule RPR012 enforces this), so every
+view's lifetime is tied to the object that owns the mapping.
+
+**Write policies on real shared memory.**  ``lock`` is a single
+``multiprocessing`` mutex per vector (:class:`ProcLockWrite`);
+``atomic`` emulates element-granular atomics with striped mp locks for
+writer-writer exclusion plus a per-stripe *seqlock* word for lock-free
+readers (:class:`ProcAtomicWrite`): the writer bumps the word to odd,
+mutates the stripe, bumps it back to even; a reader retries while the
+word is odd or changed across its copy.  This preserves the Section-III
+read model — readers may observe a partially committed update at stripe
+granularity, never a torn element.  The seqlock argument relies on
+store ordering (x86-TSO; on weaker architectures the bounded retry
+falls back to the stripe lock, which is a full barrier).  ``unsafe``
+is the lost-update ablation, as in the threaded executor.
+
+**Worker bootstrap.**  Workers are spawned (never forked — the parent
+holds live locks, scipy state and possibly threads) and receive a
+pickled :class:`SetupBundle`: the AMG hierarchy (with any memoized
+smoothed interpolants riding along) plus the solver's constructor
+recipe.  The bundle is adopted into the worker's AMG setup cache under
+the problem's content hash, so anything else in the worker that asks
+for the same ``(matrix, options)`` setup gets the shipped hierarchy
+for free.  The :mod:`repro.kernels` dispatch runs unchanged in every
+worker — plan caches and scratch pools are process-local by design.
+
+**Faults and recovery.**  A crash fault is a *real* process death
+(``os._exit``), detected by the supervisor through heartbeats/exit
+codes and restarted through the existing :class:`~repro.resilience.Guard`
+budget with replica re-sync from the shared iterate.  Telemetry uses
+the single-writer-shard idiom: each worker bumps only its own int64
+row, merged into the run's :class:`FaultTelemetry` at join.  Trace
+events flow through single-writer rings (cursor published after the
+record — same TSO argument), drained by the parent into the run's
+:class:`~repro.observe.Tracer` under worker keys ``"p<wid>"``.
+
+**Clock.**  Everything here uses ``time.monotonic`` — on Linux it is
+system-wide, so heartbeat timestamps written by workers are directly
+comparable in the parent.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import threading
+import time as _time
+import traceback
+from dataclasses import dataclass, field, replace
+from multiprocessing import resource_tracker, shared_memory
+from typing import TYPE_CHECKING, Any, Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from .. import kernels
+from ..linalg import two_norm
+from ..resilience import FaultInjector, FaultPlan, FaultTelemetry, Guard, GuardPolicy
+from .engine import run_async_engine
+from .threaded import _WORKER_ERRORS
+from .writes import UnsafeWrite, WritePolicy
+
+if TYPE_CHECKING:  # runtime import would cycle through repro.observe
+    from ..observe.live import LiveConfig, LiveSummary
+    from ..observe.tracer import Tracer, TraceSummary
+
+__all__ = [
+    "ProcsResult",
+    "SetupBundle",
+    "SharedVectors",
+    "ProcLockWrite",
+    "ProcAtomicWrite",
+    "make_proc_write_policy",
+    "run_procs",
+]
+
+_RESCOMP = ("local", "global", "rupdate")
+_CRITERIA = ("criterion1", "criterion2")
+_WRITES = ("lock", "atomic", "unsafe")
+
+#: Worker exit code for an injected fail-stop (distinct from 0/clean
+#: and from Python's 1/traceback so the supervisor can tell them apart
+#: in logs; detection itself only needs "died without finishing").
+_CRASH_EXIT = 17
+
+#: Flag slots in the shared control region.
+_FLAG_STOP = 0
+_FLAG_DONE = 1  # criterion-2 master flag
+_FLAG_DET_DONE = 2
+_NFLAGS = 4
+
+#: Worker status codes (``SharedVectors.status``).
+_STATUS_RUNNING = 0
+_STATUS_OK = 1
+_STATUS_ERROR = 2
+
+#: Telemetry counters a worker may bump, in shared-row slot order.
+_TEL_COUNTERS = (
+    "injected_crashes",
+    "injected_stalls",
+    "injected_corruptions",
+    "corrections_rejected",
+    "corrections_clamped",
+)
+
+#: Ring-record vocabularies: events cross the process boundary as six
+#: float64 slots, so kinds and tags are encoded as indices into these
+#: tuples (index 0 = the empty tag).
+_TRACE_KINDS = ("correct_begin", "correct_end", "residual", "fault")
+_TRACE_TAGS = ("", "crash", "stall", "local")
+
+_RING_CAPACITY = 4096
+_RING_WIDTH = 6
+
+
+# ----------------------------------------------------------------------
+# Shared segment layout + views
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _Layout:
+    """Geometry of the shared segment (picklable, shipped to workers)."""
+
+    n: int
+    k: int
+    ngrids: int
+    nworkers: int
+    nstripes: int
+    ring_capacity: int = _RING_CAPACITY
+
+    def slots(self) -> Tuple[Tuple[str, int, str, Tuple[int, ...]], ...]:
+        """``(name, count, dtype, shape)`` for every region, in order."""
+        m = self.n * self.k
+        w = self.nworkers
+        return (
+            ("x", m, "f8", (self.n, self.k)),
+            ("r", m, "f8", (self.n, self.k)),
+            ("b", m, "f8", (self.n, self.k)),
+            ("seq_x", self.nstripes, "i8", (self.nstripes,)),
+            ("seq_r", self.nstripes, "i8", (self.nstripes,)),
+            ("counts", self.ngrids, "i8", (self.ngrids,)),
+            ("flags", _NFLAGS, "i8", (_NFLAGS,)),
+            ("heartbeats", w, "f8", (w,)),
+            ("status", w, "i8", (w,)),
+            ("telemetry", w * len(_TEL_COUNTERS), "i8", (w, len(_TEL_COUNTERS))),
+            ("ring_cursors", w, "i8", (w,)),
+            (
+                "rings",
+                w * self.ring_capacity * _RING_WIDTH,
+                "f8",
+                (w, self.ring_capacity, _RING_WIDTH),
+            ),
+        )
+
+    @property
+    def nbytes(self) -> int:
+        return 8 * sum(count for _, count, _, _ in self.slots())
+
+
+class SharedVectors:
+    """Sole owner of the run's shared segment and of every view into it.
+
+    All ``np.frombuffer`` views are constructed here and nowhere else
+    (RPR012): workers and the parent both talk to the segment through a
+    ``SharedVectors`` instance, so teardown can drop the views before
+    closing the mapping and the unlink happens exactly once, in the
+    parent, no matter how workers died.
+    """
+
+    _VIEWS = (
+        "x",
+        "r",
+        "b",
+        "seq_x",
+        "seq_r",
+        "counts",
+        "flags",
+        "heartbeats",
+        "status",
+        "telemetry",
+        "ring_cursors",
+        "rings",
+    )
+
+    def __init__(
+        self, shm: shared_memory.SharedMemory, layout: _Layout, owner: bool
+    ) -> None:
+        self._shm = shm
+        self.layout = layout
+        self.name = shm.name
+        self._owner = owner
+        self._unlinked = False
+        self._closed = False
+        offset = 0
+        for vname, count, dtype, shape in layout.slots():
+            view = np.frombuffer(shm.buf, dtype=dtype, count=count, offset=offset)
+            setattr(self, vname, view.reshape(shape))
+            offset += 8 * count
+        if offset > shm.size:  # pragma: no cover - layout arithmetic guard
+            raise ValueError(f"layout needs {offset} bytes, segment has {shm.size}")
+
+    # -- construction ---------------------------------------------------
+    @classmethod
+    def create(cls, layout: _Layout) -> "SharedVectors":
+        """Allocate a fresh segment in the parent (auto-named)."""
+        shm = shared_memory.SharedMemory(create=True, size=layout.nbytes)
+        sv = cls(shm, layout, owner=True)
+        for vname in cls._VIEWS:  # POSIX zero-fills, but be explicit
+            getattr(sv, vname)[...] = 0
+        return sv
+
+    @classmethod
+    def attach(cls, name: str, layout: _Layout) -> "SharedVectors":
+        """Map an existing segment in a worker.
+
+        Python 3.11's ``SharedMemory`` registers *every* attach with the
+        resource tracker (no ``track=`` parameter yet).  Spawned workers
+        share the parent's tracker process, so that re-registration is
+        an idempotent set-add — harmless — while an *unregister* here
+        would strip the parent's own registration and turn the parent's
+        final unlink into tracker noise.  Lifetime management therefore
+        stays entirely with the parent: workers only ever ``close()``.
+        """
+        return cls(shared_memory.SharedMemory(name=name), layout, owner=False)
+
+    # -- flat views -----------------------------------------------------
+    @property
+    def x_flat(self) -> np.ndarray:
+        return self.x.reshape(-1)
+
+    @property
+    def r_flat(self) -> np.ndarray:
+        return self.r.reshape(-1)
+
+    # -- teardown -------------------------------------------------------
+    def close(self) -> None:
+        """Drop the views and unmap.  Safe to call twice; tolerates a
+        stray external reference still pinning the buffer (the mapping
+        then frees at garbage collection instead)."""
+        if self._closed:
+            return
+        self._closed = True
+        for vname in self._VIEWS:
+            setattr(self, vname, None)
+        try:
+            self._shm.close()
+        except BufferError:  # pragma: no cover - external view still alive
+            pass
+
+    def unlink(self) -> None:
+        """Remove the segment name — parent only, exactly once."""
+        if self._owner and not self._unlinked:
+            self._unlinked = True
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+
+
+# ----------------------------------------------------------------------
+# Write policies over real shared memory
+# ----------------------------------------------------------------------
+
+
+class ProcLockWrite(WritePolicy):
+    """One ``multiprocessing`` mutex: whole-vector commits and reads."""
+
+    name = "proc-lock"
+
+    def __init__(self, n: int, lock: Any) -> None:
+        super().__init__(n)
+        self._lock = lock
+
+    def add(self, target: np.ndarray, update: np.ndarray) -> None:
+        with self._lock:
+            target += update
+
+    def assign_slice(
+        self, target: np.ndarray, lo: int, hi: int, values: np.ndarray
+    ) -> None:
+        with self._lock:
+            target[lo:hi] = values
+
+    def read(self, source: np.ndarray) -> np.ndarray:
+        with self._lock:
+            return source.copy()
+
+
+class ProcAtomicWrite(WritePolicy):
+    """Striped mp locks + per-stripe seqlock words.
+
+    Writers hold the stripe lock (writer-writer exclusion) and bracket
+    the mutation with two increments of the stripe's shared int64 —
+    odd means "publication in progress".  Readers copy a stripe without
+    any lock, retrying while the word is odd or changed across the
+    copy; after ``max_retries`` failed attempts the reader falls back
+    to the stripe lock (bounded progress under pathological write
+    pressure).  ``read_retries`` / ``lock_fallbacks`` are per-process
+    diagnostic counters (the torn-write property test asserts the retry
+    path actually fires).
+    """
+
+    name = "proc-atomic"
+
+    def __init__(
+        self,
+        n: int,
+        stripe: int,
+        locks: List[Any],
+        seq: np.ndarray,
+        max_retries: int = 64,
+    ) -> None:
+        super().__init__(n)
+        if stripe < 1:
+            raise ValueError("stripe must be >= 1")
+        self.stripe = int(stripe)
+        self.nstripes = max(1, -(-self.n // self.stripe))
+        if len(locks) != self.nstripes or seq.shape[0] != self.nstripes:
+            raise ValueError(
+                f"need {self.nstripes} locks/seq words, "
+                f"got {len(locks)}/{seq.shape[0]}"
+            )
+        self._locks = list(locks)
+        self._seq = seq
+        self.max_retries = int(max_retries)
+        self.read_retries = 0
+        self.lock_fallbacks = 0
+
+    def _ranges(
+        self, lo: int = 0, hi: Optional[int] = None
+    ) -> Iterator[Tuple[int, int, int]]:
+        hi = self.n if hi is None else hi
+        first = lo // self.stripe
+        last = (hi - 1) // self.stripe if hi > lo else first - 1
+        for s in range(first, last + 1):
+            a = max(lo, s * self.stripe)
+            b = min(hi, (s + 1) * self.stripe)
+            yield s, a, b
+
+    def add(self, target: np.ndarray, update: np.ndarray) -> None:
+        seq = self._seq
+        for s, a, b in self._ranges():
+            with self._locks[s]:
+                seq[s] += 1  # odd: stripe unstable
+                target[a:b] += update[a:b]
+                seq[s] += 1  # even: stripe stable again
+
+    def assign_slice(
+        self, target: np.ndarray, lo: int, hi: int, values: np.ndarray
+    ) -> None:
+        seq = self._seq
+        for s, a, b in self._ranges(lo, hi):
+            with self._locks[s]:
+                seq[s] += 1
+                target[a:b] = values[a - lo : b - lo]
+                seq[s] += 1
+
+    def read(self, source: np.ndarray) -> np.ndarray:
+        out = np.empty(self.n)
+        for s, a, b in self._ranges():
+            self._read_stripe(source, out, s, a, b)
+        return out
+
+    def _read_stripe(
+        self, source: np.ndarray, out: np.ndarray, s: int, a: int, b: int
+    ) -> None:
+        seq = self._seq
+        for _ in range(self.max_retries):
+            s1 = int(seq[s])
+            if s1 & 1:  # writer mid-publication
+                self.read_retries += 1
+                continue
+            out[a:b] = source[a:b]
+            if int(seq[s]) == s1:  # unchanged across the copy: clean
+                return
+            self.read_retries += 1
+        self.lock_fallbacks += 1
+        with self._locks[s]:
+            out[a:b] = source[a:b]
+
+
+def make_proc_write_policy(
+    name: str, n: int, stripe: int, locks: List[Any], seq: np.ndarray
+) -> WritePolicy:
+    """Build a cross-process write policy over pre-created mp locks."""
+    if name == "lock":
+        return ProcLockWrite(n, locks[0])
+    if name == "atomic":
+        return ProcAtomicWrite(n, stripe, locks, seq)
+    if name == "unsafe":
+        return UnsafeWrite(n)
+    raise KeyError(f"unknown write policy {name!r}; known: {sorted(_WRITES)}")
+
+
+def _make_locks(write: str, nstripes: int, ctx: Any) -> List[Any]:
+    """Locks for one shared vector, created in the parent (mp locks are
+    only shippable through ``Process`` args, not via late pickling)."""
+    if write == "lock":
+        return [ctx.Lock()]
+    if write == "atomic":
+        return [ctx.Lock() for _ in range(nstripes)]
+    return []
+
+
+# ----------------------------------------------------------------------
+# Solver transport
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SetupBundle:
+    """Everything a worker needs to rebuild its solver, shipped once.
+
+    The hierarchy (a plain dataclass of CSR levels — cheap to pickle,
+    and any memoized smoothed interpolants in its ``__dict__`` ride
+    along) plus the constructor recipe.  The coarse LU factorisation is
+    *not* shipped (SuperLU objects don't pickle); each worker refactors
+    deterministically from the same coarse operator, so a rebuilt
+    solver is numerically identical to the parent's.
+    """
+
+    hierarchy: Any
+    method: str
+    smoother: str
+    smoother_kwargs: Dict[str, Any]
+    extra: Dict[str, Any]
+    fingerprint: str
+
+    @classmethod
+    def from_solver(cls, solver: Any) -> "SetupBundle":
+        from ..kernels.setupcache import problem_fingerprint
+        from ..solvers import AFACx, BPX, Multadd
+
+        if isinstance(solver, Multadd):
+            method = "multadd"
+            extra: Dict[str, Any] = {
+                "lambda_mode": solver.lambda_mode,
+                "interp_smoother_kind": solver.interp_smoother_kind,
+                "interp_weight": solver.interp_weight,
+            }
+        elif isinstance(solver, AFACx):
+            method = "afacx"
+            extra = {
+                "s1": solver.s1,
+                "s2": solver.s2,
+                "coarse_sweeps": solver.coarse_sweeps,
+                "exact_coarse": solver.exact_coarse,
+            }
+        elif isinstance(solver, BPX):
+            method = "bpx"
+            extra = {"scale": solver.scale}
+        else:
+            raise TypeError(
+                f"cannot ship a {type(solver).__name__} to worker processes; "
+                "the procs backend knows multadd/afacx/bpx"
+            )
+        return cls(
+            hierarchy=solver.hierarchy,
+            method=method,
+            smoother=solver.smoother_name,
+            smoother_kwargs=dict(solver.smoother_kwargs),
+            extra=extra,
+            fingerprint=problem_fingerprint(solver.A),
+        )
+
+    def build_solver(self) -> Any:
+        """Rebuild the solver in a worker, seeding its setup cache."""
+        from ..kernels.setupcache import adopt_hierarchy
+        from ..solvers import AFACx, BPX, Multadd
+
+        adopt_hierarchy(self.hierarchy, self.fingerprint)
+        ctor = {"multadd": Multadd, "afacx": AFACx, "bpx": BPX}[self.method]
+        return ctor(
+            self.hierarchy, self.smoother, **self.extra, **self.smoother_kwargs
+        )
+
+
+# ----------------------------------------------------------------------
+# Worker-side helpers
+# ----------------------------------------------------------------------
+
+
+class _ShardTelemetry:
+    """``FaultTelemetry``-compatible ``bump`` over one shared int64 row."""
+
+    def __init__(self, row: np.ndarray) -> None:
+        self._row = row
+
+    def bump(self, counter: str, by: int = 1) -> None:
+        self._row[_TEL_COUNTERS.index(counter)] += by
+
+
+class _SharedCriterion:
+    """Criterion 1/2 over the shared counts/flags regions.
+
+    Counts are single-writer (only a grid's owner increments its slot),
+    so no cross-process lock is needed.  The criterion-2 completeness
+    check reads other workers' counters racily — counters only grow, so
+    the worst case is the flag raising one correction late, which is
+    exactly the paper's master-thread semantics.
+    """
+
+    def __init__(
+        self, counts: np.ndarray, flags: np.ndarray, kind: str, tmax: int
+    ) -> None:
+        if tmax < 1:
+            raise ValueError("tmax must be >= 1")
+        self.counts = counts
+        self.flags = flags
+        self.kind = kind
+        self.tmax = int(tmax)
+
+    def record(self, k: int) -> None:
+        self.counts[k] += 1
+        if (
+            self.kind == "criterion2"
+            and not self.flags[_FLAG_DONE]
+            and bool(np.all(self.counts >= self.tmax))
+        ):
+            self.flags[_FLAG_DONE] = 1
+
+    def grid_done(self, k: int) -> bool:
+        if self.kind == "criterion2":
+            return bool(self.flags[_FLAG_DONE])
+        return bool(self.counts[k] >= self.tmax)
+
+    def all_done(self) -> bool:
+        if self.kind == "criterion2":
+            return bool(self.flags[_FLAG_DONE])
+        return bool(np.all(self.counts >= self.tmax))
+
+
+@dataclass(frozen=True)
+class _WorkerConfig:
+    """Per-run constants shipped to every worker (picklable)."""
+
+    tmax: int
+    rescomp: str
+    write: str
+    criterion: str
+    stripe: int
+    alpha: float
+    seed: int
+    deterministic: bool
+    trace: bool
+    nb: float
+    t0: float
+    deadline: float
+    divergence_threshold: float
+    kernel_backend: str
+    guard: Optional[GuardPolicy]
+    faults: Optional[FaultPlan]
+
+
+def _ring_record(
+    sv: SharedVectors,
+    wid: int,
+    t: float,
+    kind: str,
+    grid: int,
+    a: float = 0.0,
+    b: float = 0.0,
+    tag: str = "",
+) -> None:
+    """Append one event to this worker's ring (single writer).
+
+    The record is fully written before the cursor store publishes it —
+    the same store-ordering argument as the seqlock writer.
+    """
+    cap = sv.layout.ring_capacity
+    cur = int(sv.ring_cursors[wid])
+    rec = sv.rings[wid, cur % cap]
+    rec[0] = t
+    rec[1] = float(_TRACE_KINDS.index(kind))
+    rec[2] = float(grid)
+    rec[3] = a
+    rec[4] = b
+    rec[5] = float(_TRACE_TAGS.index(tag))
+    sv.ring_cursors[wid] = cur + 1
+
+
+def _worker_main(
+    wid: int,
+    shm_name: str,
+    layout: _Layout,
+    bundle: SetupBundle,
+    grids: Tuple[int, ...],
+    rows: Tuple[Tuple[int, int], ...],
+    cfg: _WorkerConfig,
+    locks_x: List[Any],
+    locks_r: List[Any],
+    errq: Any,
+    resync: bool,
+) -> None:
+    """Worker process entry point (module-level: spawn-picklable)."""
+    sv = SharedVectors.attach(shm_name, layout)
+    try:
+        try:
+            kernels.use(cfg.kernel_backend)
+            solver = bundle.build_solver()
+            if cfg.deterministic:
+                _run_deterministic(sv, solver, cfg)
+            else:
+                _worker_loop(
+                    sv, wid, solver, grids, rows, cfg, locks_x, locks_r, resync
+                )
+            sv.status[wid] = _STATUS_OK
+        except _WORKER_ERRORS:
+            errq.put((wid, traceback.format_exc()))
+            sv.status[wid] = _STATUS_ERROR
+            sv.flags[_FLAG_STOP] = 1
+    finally:
+        sv.close()
+
+
+def _run_deterministic(sv: SharedVectors, solver: Any, cfg: _WorkerConfig) -> None:
+    """Single-worker transport-validation mode: run the sequential
+    engine *inside* the worker over the shipped operands and write the
+    result back through shared memory.  Bit-identical to a direct
+    ``run_async_engine`` call by construction, while still exercising
+    the pickle + SharedMemory round trip end to end."""
+    b = np.array(sv.b, copy=True).reshape(-1)
+    res = run_async_engine(
+        solver,
+        b,
+        tmax=cfg.tmax,
+        rescomp=cfg.rescomp,
+        write=cfg.write,
+        criterion=cfg.criterion,
+        alpha=cfg.alpha,
+        seed=cfg.seed,
+        divergence_threshold=cfg.divergence_threshold,
+    )
+    sv.x_flat[:] = res.x
+    sv.counts[:] = res.counts
+    sv.flags[_FLAG_DET_DONE] = 1
+
+
+def _worker_loop(
+    sv: SharedVectors,
+    wid: int,
+    solver: Any,
+    grids: Tuple[int, ...],
+    rows: Tuple[Tuple[int, int], ...],
+    cfg: _WorkerConfig,
+    locks_x: List[Any],
+    locks_r: List[Any],
+    resync: bool,
+) -> None:
+    lay = sv.layout
+    n, k = lay.n, lay.k
+    m = n * k
+    A = solver.A
+    x_flat, r_flat = sv.x_flat, sv.r_flat
+    flags, counts = sv.flags, sv.counts
+    B = np.array(sv.b, copy=True)  # private RHS replica (n, k)
+    b1 = np.ascontiguousarray(B.reshape(-1)) if k == 1 else None
+
+    xpol = make_proc_write_policy(cfg.write, m, cfg.stripe, locks_x, sv.seq_x)
+    rpol = make_proc_write_policy(cfg.write, m, cfg.stripe, locks_r, sv.seq_r)
+    crit = _SharedCriterion(counts, flags, cfg.criterion, cfg.tmax)
+    shard = _ShardTelemetry(sv.telemetry[wid])
+
+    injector = None
+    if cfg.faults is not None and cfg.faults.active:
+        # Offset the stochastic streams per worker so concurrent workers
+        # don't draw identical corruption patterns; deterministic
+        # schedules (crash/stall) are grid-indexed and unaffected.
+        injector = FaultInjector(
+            replace(cfg.faults, seed=cfg.faults.seed + wid), lay.ngrids
+        )
+        if resync:
+            # A restarted process must not re-serve crash sentences that
+            # already executed (the one-shot state died with its
+            # predecessor).
+            injector.forgive_completed_crashes(counts)
+    grd = Guard(cfg.guard, cfg.nb) if cfg.guard is not None else None
+
+    # Replicas seeded from the *current* shared state — correct both at
+    # cold start (x is x0) and after a watchdog restart.
+    x0_loc = xpol.read(x_flat)
+    if k == 1:
+        assert b1 is not None
+        r0 = kernels.range_residual(A, x0_loc, b1, 0, n)
+    else:
+        r0 = kernels.range_residual_block(A, x0_loc.reshape(n, k), B, 0, n)
+    r_local: Dict[int, np.ndarray] = {g: r0.copy() for g in grids}
+
+    # Steady-state buffers: one allocation per worker, zero per step.
+    e_block = np.empty((n, k)) if k > 1 else None
+    de_buf = np.empty(n) if cfg.rescomp == "rupdate" and k == 1 else None
+    de_block = np.empty((n, k)) if cfg.rescomp == "rupdate" and k > 1 else None
+    fresh: Dict[int, np.ndarray] = {}
+    if cfg.rescomp == "global":
+        for g in grids:
+            lo, hi = rows[g]
+            if hi > lo:
+                fresh[g] = np.empty(hi - lo) if k == 1 else np.empty((hi - lo, k))
+    zeros_e = np.zeros(m) if grd is not None else None
+
+    pending = list(grids)
+    while pending:
+        if flags[_FLAG_STOP]:
+            return
+        for g in list(pending):
+            if flags[_FLAG_STOP]:
+                return
+            if crit.grid_done(g):
+                pending.remove(g)
+                continue
+            sv.heartbeats[wid] = _time.monotonic()
+            completed = int(counts[g])
+            if injector is not None:
+                if injector.crash_due(g, completed):
+                    shard.bump("injected_crashes")
+                    if cfg.trace:
+                        _ring_record(
+                            sv, wid, _time.monotonic() - cfg.t0, "fault", g,
+                            tag="crash",
+                        )
+                    os._exit(_CRASH_EXIT)  # a real fail-stop process death
+                dur = injector.stall_due(g, completed)
+                if dur is not None:
+                    shard.bump("injected_stalls")
+                    if cfg.trace:
+                        _ring_record(
+                            sv, wid, _time.monotonic() - cfg.t0, "fault", g,
+                            a=float(dur), tag="stall",
+                        )
+                    _time.sleep(
+                        min(float(dur), max(0.0, cfg.deadline - _time.monotonic()))
+                    )
+            if cfg.trace:
+                _ring_record(
+                    sv, wid, _time.monotonic() - cfg.t0, "correct_begin", g,
+                    a=float(completed + 1),
+                )
+            rl = r_local[g]
+            if k == 1:
+                e = solver.correction(g, rl)
+            else:
+                assert e_block is not None
+                for j in range(k):
+                    e_block[:, j] = solver.correction(
+                        g, np.ascontiguousarray(rl[:, j])
+                    )
+                e = e_block.reshape(-1)
+            if injector is not None:
+                e = injector.corrupt(e, shard)  # type: ignore[arg-type]
+            if grd is not None:
+                screened = grd.screen(e, telemetry=shard)  # type: ignore[arg-type]
+                if screened is None:
+                    assert zeros_e is not None
+                    e = zeros_e
+                else:
+                    e = screened
+            xpol.add(x_flat, e)
+            if cfg.rescomp == "rupdate":
+                if k == 1:
+                    assert de_buf is not None
+                    kernels.range_matvec(A, e, 0, n, out=de_buf)
+                    np.negative(de_buf, out=de_buf)
+                    rpol.add(r_flat, de_buf)
+                else:
+                    assert de_block is not None
+                    kernels.range_matvec_block(A, e.reshape(n, k), 0, n, out=de_block)
+                    de_flat = de_block.reshape(-1)
+                    np.negative(de_flat, out=de_flat)
+                    rpol.add(r_flat, de_flat)
+                rr = rpol.read(r_flat)
+                r_local[g] = rr if k == 1 else rr.reshape(n, k)
+            elif cfg.rescomp == "local":
+                x_loc = xpol.read(x_flat)
+                if k == 1:
+                    assert b1 is not None
+                    kernels.range_residual(A, x_loc, b1, 0, n, out=r_local[g])
+                else:
+                    kernels.range_residual_block(
+                        A, x_loc.reshape(n, k), B, 0, n, out=r_local[g]
+                    )
+            else:  # global
+                x_loc = xpol.read(x_flat)
+                lo, hi = rows[g]
+                if hi > lo:
+                    if k == 1:
+                        assert b1 is not None
+                        kernels.range_residual(A, x_loc, b1, lo, hi, out=fresh[g])
+                        rpol.assign_slice(r_flat, lo, hi, fresh[g])
+                    else:
+                        kernels.range_residual_block(
+                            A, x_loc.reshape(n, k), B, lo, hi, out=fresh[g]
+                        )
+                        rpol.assign_slice(
+                            r_flat, lo * k, hi * k, fresh[g].reshape(-1)
+                        )
+                rr = rpol.read(r_flat)
+                r_local[g] = rr if k == 1 else rr.reshape(n, k)
+            crit.record(g)
+            sv.heartbeats[wid] = _time.monotonic()
+            mx = float(np.abs(r_local[g]).max()) if m else 0.0
+            if cfg.trace:
+                now = _time.monotonic() - cfg.t0
+                _ring_record(sv, wid, now, "correct_end", g, a=float(counts[g]))
+                _ring_record(
+                    sv, wid, now, "residual", g,
+                    a=float(two_norm(r_local[g].reshape(-1)) / cfg.nb),
+                    tag="local",
+                )
+            if not np.isfinite(mx) or mx > cfg.divergence_threshold * max(
+                cfg.nb, 1.0
+            ):
+                flags[_FLAG_STOP] = 1
+                return
+
+# ----------------------------------------------------------------------
+# Parent side
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class ProcsResult:
+    """Outcome of a true-parallel (process-backed) asynchronous run.
+
+    Field-compatible with :class:`~repro.core.threaded.ThreadedResult`
+    so benchmark harnesses and the CLI treat the two interchangeably;
+    ``workers`` records the process count (thread-groups) and
+    ``deterministic`` whether the run used the single-worker
+    transport-validation mode.
+    """
+
+    x: np.ndarray
+    rel_residual: float
+    counts: np.ndarray
+    wall_time: float
+    diverged: bool = False
+    errors: List[str] = field(default_factory=list)
+    residual_samples: List[tuple] = field(default_factory=list)
+    stalled: bool = False
+    telemetry: FaultTelemetry = field(default_factory=FaultTelemetry)
+    trace_summary: Optional["TraceSummary"] = None
+    kernel_backend: str = "numpy"
+    live_summary: Optional["LiveSummary"] = None
+    workers: int = 1
+    deterministic: bool = False
+
+    @property
+    def corrects(self) -> float:
+        return float(self.counts.mean())
+
+
+def _assign_grids(work: np.ndarray, nworkers: int) -> List[List[int]]:
+    """Deterministic LPT partition of grids onto worker processes.
+
+    Heaviest grid first onto the least-loaded worker (ties broken by
+    index) — the paper's thread-group work split, at process
+    granularity.
+    """
+    order = sorted(range(len(work)), key=lambda g: (-float(work[g]), g))
+    loads = [0.0] * nworkers
+    owned: List[List[int]] = [[] for _ in range(nworkers)]
+    for g in order:
+        w = min(range(nworkers), key=lambda i: (loads[i], i))
+        owned[w].append(g)
+        loads[w] += float(work[g])
+    for lst in owned:
+        lst.sort()
+    return owned
+
+
+def _drain_rings(sv: SharedVectors, tracer: "Tracer", cursors: List[int]) -> None:
+    """Feed new ring records into the parent's tracer buffers.
+
+    Safe to run while workers append: the published cursor is read
+    first, so only fully-written records are consumed; anything
+    overwritten between drains is tallied as dropped.
+    """
+    cap = sv.layout.ring_capacity
+    for wid in range(sv.layout.nworkers):
+        pos = int(sv.ring_cursors[wid])
+        have = pos - cursors[wid]
+        if have <= 0:
+            continue
+        take = min(have, cap)
+        key = f"p{wid}"
+        tracer.buffer(key).dropped += have - take
+        for idx in range(pos - take, pos):
+            rec = sv.rings[wid, idx % cap]
+            tracer.record(
+                _TRACE_KINDS[int(rec[1])],
+                int(rec[2]),
+                float(rec[0]),
+                float(rec[3]),
+                float(rec[4]),
+                _TRACE_TAGS[int(rec[5])],
+                worker=key,
+            )
+        cursors[wid] = pos
+
+
+def run_procs(
+    solver: Any,
+    b: np.ndarray,
+    tmax: int = 20,
+    rescomp: str = "local",
+    write: str = "lock",
+    criterion: str = "criterion1",
+    stripe: int = 1024,
+    x0: Optional[np.ndarray] = None,
+    divergence_threshold: float = 1e6,
+    timeout: float = 600.0,
+    workers: Optional[int] = None,
+    deterministic: bool = False,
+    alpha: float = 0.1,
+    seed: int = 0,
+    monitor_interval: Optional[float] = None,
+    faults: Optional[FaultPlan] = None,
+    guard: Optional[GuardPolicy] = None,
+    tracer: Optional["Tracer"] = None,
+    live: Optional["LiveConfig"] = None,
+) -> ProcsResult:
+    """Run asynchronous additive multigrid with worker *processes*.
+
+    Parameters mirror :func:`repro.core.threaded.run_threaded`, plus:
+
+    ``workers``
+        Number of worker processes (thread-groups).  Default:
+        ``min(ngrids, cpu_count)``.  Grids are LPT-partitioned onto
+        workers by :meth:`work_per_grid`; each worker round-robins its
+        owned grids, so any worker count from 1 to ``ngrids`` is valid.
+    ``deterministic``
+        Single-worker transport-validation mode: the worker runs the
+        sequential engine (same ``alpha``/``seed`` semantics as
+        ``run_async_engine``) over the shipped operands and writes the
+        result back through shared memory — bit-identical to the engine
+        backend by construction.  Requires ``workers=1``, a single RHS,
+        and no faults/guard.
+    ``b``
+        Accepts a single RHS ``(n,)`` or a multi-RHS block ``(n, k)``;
+        workers then use the blocked kernels and the write policies run
+        over the flattened ``n*k`` vector (stripes span columns).
+
+    Crash faults are *real* process deaths (``os._exit``), detected by
+    the supervisor via exit codes and restarted — whole process, all
+    its grids re-synced from the shared iterate — through the guard's
+    restart budget.  ``telemetry.restarts`` counts those respawns.
+    """
+    if rescomp not in _RESCOMP:
+        raise ValueError(f"rescomp must be one of {_RESCOMP}")
+    if criterion not in _CRITERIA:
+        raise ValueError(f"criterion must be one of {_CRITERIA}")
+    if write not in _WRITES:
+        raise ValueError(f"write must be one of {_WRITES}")
+    if live is not None and tracer is None:
+        from ..observe.tracer import Tracer as _Tracer
+
+        tracer = _Tracer(clock="s")
+    if live is not None and monitor_interval is None:
+        monitor_interval = live.interval_s
+    if monitor_interval is not None and monitor_interval <= 0:
+        raise ValueError("monitor_interval must be positive")
+
+    n = solver.n
+    ngrids = solver.ngrids
+    A = solver.A
+    b_in = np.asarray(b, dtype=np.float64)
+    if b_in.ndim == 1:
+        k = 1
+        B2 = b_in.reshape(n, 1)
+    elif b_in.ndim == 2:
+        k = int(b_in.shape[1])
+        B2 = b_in
+    else:
+        raise ValueError("b must be (n,) or (n, k)")
+    if B2.shape[0] != n:
+        raise ValueError(f"b has {B2.shape[0]} rows, solver expects {n}")
+    m = n * k
+
+    if workers is None:
+        workers = min(ngrids, os.cpu_count() or 1)
+    workers = max(1, min(int(workers), ngrids))
+    if deterministic:
+        if workers != 1 or k != 1:
+            raise ValueError("deterministic mode needs workers=1 and a single RHS")
+        if faults is not None or guard is not None or rescomp == "global":
+            raise ValueError(
+                "deterministic mode is fault-free and engine-compatible "
+                "(rescomp local/rupdate, no faults, no guard)"
+            )
+
+    if x0 is None:
+        X0 = np.zeros((n, k))
+    else:
+        X0 = np.array(x0, dtype=np.float64).reshape(n, k)
+    nb = two_norm(B2.reshape(-1)) or 1.0
+
+    bundle = SetupBundle.from_solver(solver)
+    ctx = mp.get_context("spawn")
+    nstripes = max(1, -(-m // stripe)) if write == "atomic" else 1
+    layout = _Layout(n=n, k=k, ngrids=ngrids, nworkers=workers, nstripes=nstripes)
+    sv = SharedVectors.create(layout)
+
+    telemetry = FaultTelemetry()
+    errors: List[str] = []
+    samples: List[tuple] = []
+    procs: List[Any] = []
+    mon: Optional[threading.Thread] = None
+    monitor_stop = threading.Event()
+    live_session = None
+    try:
+        sv.x[...] = X0
+        sv.b[...] = B2
+        sv.r[...] = B2 - A @ X0
+        t0 = _time.monotonic()
+        sv.heartbeats[...] = t0
+        deadline = t0 + timeout
+
+        locks_x = _make_locks(write, nstripes, ctx)
+        locks_r = _make_locks(write, nstripes, ctx)
+        xpol = make_proc_write_policy(write, m, stripe, locks_x, sv.seq_x)
+        rpol = make_proc_write_policy(write, m, stripe, locks_r, sv.seq_r)
+        crit = _SharedCriterion(sv.counts, sv.flags, criterion, tmax)
+        grd = Guard(guard, nb, telemetry) if guard is not None else None
+
+        owned = _assign_grids(solver.work_per_grid(), workers)
+        shares = np.maximum(
+            solver.work_per_grid() / solver.work_per_grid().sum(), 1e-6
+        )
+        cuts = np.concatenate([[0.0], np.cumsum(shares) / shares.sum()])
+        row_bounds = np.round(cuts * n).astype(np.int64)
+        rows = tuple(
+            (int(row_bounds[g]), int(row_bounds[g + 1])) for g in range(ngrids)
+        )
+
+        cfg = _WorkerConfig(
+            tmax=tmax,
+            rescomp=rescomp,
+            write=write,
+            criterion=criterion,
+            stripe=stripe,
+            alpha=alpha,
+            seed=seed,
+            deterministic=deterministic,
+            trace=tracer is not None,
+            nb=nb,
+            t0=t0,
+            deadline=deadline,
+            divergence_threshold=divergence_threshold,
+            kernel_backend=kernels.current_backend(),
+            guard=guard,
+            faults=faults,
+        )
+        errq = ctx.SimpleQueue()
+
+        def spawn(wid: int, resync: bool) -> Any:
+            sv.status[wid] = _STATUS_RUNNING
+            sv.heartbeats[wid] = _time.monotonic()
+            p = ctx.Process(
+                target=_worker_main,
+                args=(
+                    wid, sv.name, layout, bundle, tuple(owned[wid]), rows,
+                    cfg, locks_x, locks_r, errq, resync,
+                ),
+                daemon=True,
+            )
+            p.start()
+            if tracer is not None and p.pid is not None:
+                tracer.register_worker_pid(f"p{wid}", p.pid)
+            return p
+
+        def sample_rel() -> float:
+            if k == 1:
+                return float(kernels.residual_norm(A, sv.x_flat, B2.reshape(-1)) / nb)
+            rb = kernels.range_residual_block(A, np.array(sv.x), B2, 0, n)
+            return float(two_norm(rb.reshape(-1)) / nb)
+
+        if tracer is not None:
+            tracer.restart_clock()
+        if live is not None:
+            from ..observe.live import start_live
+
+            def _alert_stop() -> None:
+                sv.flags[_FLAG_STOP] = 1
+                telemetry.bump("alert_stops")
+
+            assert tracer is not None
+            live_session = start_live(
+                live, tracer, backend="procs", stop_callback=_alert_stop
+            )
+
+        procs = [spawn(wid, False) for wid in range(workers)]
+
+        def monitor() -> None:
+            while not monitor_stop.is_set():
+                now = _time.monotonic() - t0
+                rel_s = sample_rel()  # racy read: sampling only
+                samples.append((now, rel_s))
+                if tracer is not None:
+                    tracer.record(
+                        "residual", -1, now, rel_s, 0.0, "global", worker="monitor"
+                    )
+                monitor_stop.wait(monitor_interval)
+
+        if monitor_interval is not None:
+            mon = threading.Thread(target=monitor, daemon=True)
+            mon.start()
+
+        # --------------------------------------------------------------
+        # Supervisor: per-process liveness, restart, checkpoint/rollback,
+        # trace-ring drain.  Mirrors the threaded supervisor with
+        # exit-code detection instead of Thread.is_alive bookkeeping.
+        # --------------------------------------------------------------
+        cursors = [0] * workers
+        dead = [False] * workers
+        hung_flagged = [False] * workers
+        stalled = False
+        next_ckpt = (
+            t0 + guard.checkpoint_period_s if guard is not None else float("inf")
+        )
+        while _time.monotonic() < deadline:
+            if crit.all_done() or sv.flags[_FLAG_STOP]:
+                break
+            if deterministic and sv.flags[_FLAG_DET_DONE]:
+                break
+            now = _time.monotonic()
+            for wid in range(workers):
+                if dead[wid]:
+                    continue
+                p = procs[wid]
+                w_done = all(crit.grid_done(g) for g in owned[wid])
+                if p.is_alive():
+                    if (
+                        grd is not None
+                        and guard is not None
+                        and guard.watchdog
+                        and not hung_flagged[wid]
+                        and not w_done
+                        and now - float(sv.heartbeats[wid]) > guard.watchdog_timeout
+                    ):
+                        hung_flagged[wid] = True
+                        telemetry.bump("watchdog_detections")
+                        if tracer is not None:
+                            tracer.record(
+                                "guard", owned[wid][0], now - t0,
+                                tag="watchdog", worker="supervisor",
+                            )
+                    continue
+                status = int(sv.status[wid])
+                if w_done or status == _STATUS_OK:
+                    continue
+                if status == _STATUS_ERROR:
+                    continue  # error queued; worker already raised stop
+                # Fail-stop death (crash fault / kill): restart the whole
+                # process, re-synced, while the budget lasts.
+                telemetry.bump("watchdog_detections")
+                if tracer is not None:
+                    tracer.record(
+                        "guard", owned[wid][0], now - t0,
+                        tag="watchdog", worker="supervisor",
+                    )
+                if grd is not None and guard is not None and grd.try_restart():
+                    if tracer is not None:
+                        tracer.record(
+                            "guard", owned[wid][0], now - t0,
+                            tag="restart", worker="supervisor",
+                        )
+                    if guard.restart_delay:
+                        _time.sleep(guard.restart_delay)
+                    hung_flagged[wid] = False
+                    procs[wid] = spawn(wid, True)
+                else:
+                    dead[wid] = True
+            if any(dead):
+                # A permanently dead worker's grids can never satisfy
+                # the criterion; stop the survivors.
+                stalled = True
+                sv.flags[_FLAG_STOP] = 1
+                break
+            if not any(p.is_alive() for p in procs):
+                break
+            if grd is not None and guard is not None and now >= next_ckpt:
+                x_snap = xpol.read(sv.x_flat)
+                if k == 1:
+                    rel_now = float(
+                        kernels.residual_norm(A, x_snap, B2.reshape(-1)) / nb
+                    )
+                else:
+                    rb = kernels.range_residual_block(
+                        A, x_snap.reshape(n, k), B2, 0, n
+                    )
+                    rel_now = float(two_norm(rb.reshape(-1)) / nb)
+                action, x_restore = grd.checkpoint_or_rollback(x_snap, rel_now)
+                if tracer is not None and action != "none":
+                    tracer.record(
+                        "guard", -1, _time.monotonic() - t0,
+                        tag=action, worker="supervisor",
+                    )
+                if action == "rollback" and x_restore is not None:
+                    xpol.assign_slice(sv.x_flat, 0, m, x_restore)
+                    if k == 1:
+                        r_new = kernels.range_residual(
+                            A, x_restore, B2.reshape(-1), 0, n
+                        )
+                    else:
+                        r_new = kernels.range_residual_block(
+                            A, x_restore.reshape(n, k), B2, 0, n
+                        ).reshape(-1)
+                    rpol.assign_slice(sv.r_flat, 0, m, r_new)
+                next_ckpt = _time.monotonic() + guard.checkpoint_period_s
+            if tracer is not None:
+                _drain_rings(sv, tracer, cursors)
+            _time.sleep(0.005)
+
+        timed_out = _time.monotonic() >= deadline and any(
+            p.is_alive() for p in procs
+        )
+        stop_seen = bool(sv.flags[_FLAG_STOP])
+        sv.flags[_FLAG_STOP] = 1  # wind everyone down before the join
+        for p in procs:
+            p.join(timeout=5.0)
+        for p in procs:
+            if p.is_alive():  # pragma: no cover - stuck worker backstop
+                p.terminate()
+                p.join(timeout=1.0)
+        wall = _time.monotonic() - t0
+        if mon is not None:
+            monitor_stop.set()
+            mon.join(timeout=5.0)
+        if tracer is not None:
+            _drain_rings(sv, tracer, cursors)
+        while not errq.empty():
+            wid, tb = errq.get()
+            errors.append(f"worker {wid}:\n{tb}")
+        for wid in range(workers):
+            row = sv.telemetry[wid]
+            for i, counter in enumerate(_TEL_COUNTERS):
+                v = int(row[i])
+                if v:
+                    telemetry.bump(counter, v)
+
+        counts_out = np.array(sv.counts, copy=True)
+        x_out = np.array(sv.x_flat, copy=True)
+        rel = sample_rel()
+        all_done = crit.all_done() or (
+            deterministic and bool(sv.flags[_FLAG_DET_DONE])
+        )
+        alert_stopped = live_session is not None and live_session.stop_requested
+        diverged = (
+            (
+                stop_seen
+                and not timed_out
+                and not stalled
+                and not alert_stopped
+                and not errors
+            )
+            or not np.isfinite(rel)
+            or rel > divergence_threshold
+        )
+        if (
+            not diverged
+            and (timed_out or alert_stopped or (faults is not None and faults.active))
+            and not all_done
+        ):
+            stalled = True
+        stalled = stalled and not diverged
+        live_summary = live_session.finish() if live_session is not None else None
+        live_session = None
+        return ProcsResult(
+            x=x_out if b_in.ndim == 1 else x_out.reshape(n, k),
+            rel_residual=rel,
+            counts=counts_out,
+            wall_time=wall,
+            diverged=bool(diverged),
+            errors=errors,
+            residual_samples=samples,
+            stalled=bool(stalled),
+            telemetry=telemetry,
+            trace_summary=tracer.summary() if tracer is not None else None,
+            kernel_backend=kernels.current_backend(),
+            live_summary=live_summary,
+            workers=workers,
+            deterministic=deterministic,
+        )
+    finally:
+        # Teardown is unconditional: reap any stragglers, stop the
+        # samplers, then unmap and unlink exactly once — the segment
+        # must never outlive the run, even when a worker crashed
+        # mid-solve or the parent raised.
+        for p in procs:
+            if p.is_alive():
+                p.terminate()
+        for p in procs:
+            p.join(timeout=1.0)
+        monitor_stop.set()
+        if mon is not None:
+            mon.join(timeout=1.0)
+        if live_session is not None:
+            try:
+                live_session.finish()
+            except Exception:  # pragma: no cover - teardown best effort
+                pass
+        sv.close()
+        sv.unlink()

@@ -60,11 +60,14 @@ from .plans import (
 
 __all__ = [
     "KERNEL_NAMES",
+    "BLOCK_KERNEL_NAMES",
     "available_backends",
     "current_backend",
     "use",
     "range_matvec",
     "range_residual",
+    "range_matvec_block",
+    "range_residual_block",
     "jacobi_sweeps",
     "prolong_add",
     "residual_norm",
@@ -83,13 +86,23 @@ __all__ = [
     "register_stats",
 ]
 
-#: The five hot kernels, in dispatch order.
+#: The five scalar hot kernels, in dispatch order (the perf bench
+#: sweeps exactly these; the blocked multi-RHS variants below are
+#: dispatched and timed under their own names).
 KERNEL_NAMES: Tuple[str, ...] = (
     "range_matvec",
     "range_residual",
     "jacobi_sweep",
     "prolong_add",
     "residual_norm",
+)
+
+#: The blocked multi-RHS kernels over ``(n, k)`` right-hand-side
+#: blocks (the solver-as-a-service prerequisite; the procs backend
+#: uses them when a worker owns several RHS columns).
+BLOCK_KERNEL_NAMES: Tuple[str, ...] = (
+    "range_matvec_block",
+    "range_residual_block",
 )
 
 
@@ -308,6 +321,77 @@ def range_residual(
         _stats.bump("range_residual", time.perf_counter() - t0)
     else:
         _backend.range_residual(plan, x, b, out)
+    return out
+
+
+def _block_operands(
+    X: np.ndarray, nrows: int, out: Optional[np.ndarray]
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Validate/shape the ``(ncols, k)`` block input and ``(nrows, k)``
+    output of the blocked kernels.
+
+    ``X`` must be 2-D; a non-C-contiguous block is copied (scipy's
+    ``csr_matvecs`` walks it row-major).  ``out`` is allocated fresh
+    when omitted — the blocked kernels serve per-correction solves, not
+    the per-micro-step loop, so they do not borrow plan buffers.
+    """
+    if X.ndim != 2:
+        raise ValueError(f"blocked kernels need a 2-D (n, k) block, got {X.shape}")
+    Xc = np.ascontiguousarray(X, dtype=np.float64)
+    k = Xc.shape[1]
+    if out is None:
+        out = np.empty((nrows, k), dtype=np.float64)
+    elif out.shape != (nrows, k):
+        raise ValueError(f"out must have shape {(nrows, k)}, got {out.shape}")
+    return Xc, out
+
+
+def range_matvec_block(
+    A: sp.csr_matrix,
+    X: np.ndarray,
+    start: int,
+    stop: int,
+    out: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """``(A @ X)[start:stop, :]`` for an ``(n, k)`` RHS block.
+
+    Column ``j`` of the result is bit-identical to
+    ``range_matvec(A, X[:, j], start, stop)`` on every backend (same
+    per-row left-to-right accumulation, one column at a time or fused).
+    """
+    plan = plan_for(A, start, stop)
+    X, out = _block_operands(X, plan.nrows, out)
+    if _stats.enabled:
+        t0 = time.perf_counter()
+        _backend.range_matvec_block(plan, X, out)
+        _stats.bump("range_matvec_block", time.perf_counter() - t0)
+    else:
+        _backend.range_matvec_block(plan, X, out)
+    return out
+
+
+def range_residual_block(
+    A: sp.csr_matrix,
+    X: np.ndarray,
+    B: np.ndarray,
+    start: int,
+    stop: int,
+    out: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """``(B - A X)[start:stop, :]`` for ``(n, k)`` iterate/RHS blocks.
+
+    Same column-wise bit-parity contract as :func:`range_matvec_block`.
+    """
+    plan = plan_for(A, start, stop)
+    X, out = _block_operands(X, plan.nrows, out)
+    if B.ndim != 2 or B.shape[1] != X.shape[1]:
+        raise ValueError(f"B must be (n, {X.shape[1]}), got {B.shape}")
+    if _stats.enabled:
+        t0 = time.perf_counter()
+        _backend.range_residual_block(plan, X, B, out)
+        _stats.bump("range_residual_block", time.perf_counter() - t0)
+    else:
+        _backend.range_residual_block(plan, X, B, out)
     return out
 
 

@@ -23,6 +23,8 @@ from ..plans import RowRangePlan
 __all__ = [
     "range_matvec",
     "range_residual",
+    "range_matvec_block",
+    "range_residual_block",
     "jacobi_sweep",
     "prolong_add",
     "residual_norm",
@@ -53,6 +55,23 @@ def range_residual(
         return
     range_matvec(plan, x, out)
     np.subtract(b[plan.start : plan.stop], out, out=out)
+
+
+def range_matvec_block(plan: RowRangePlan, X: np.ndarray, out: np.ndarray) -> None:
+    """Reference blocked product: one seed-style column at a time."""
+    if plan.nrows == 0:
+        return
+    for j in range(X.shape[1]):
+        out[:, j] = _range_product(plan, np.ascontiguousarray(X[:, j]))
+
+
+def range_residual_block(
+    plan: RowRangePlan, X: np.ndarray, B: np.ndarray, out: np.ndarray
+) -> None:
+    if plan.nrows == 0:
+        return
+    range_matvec_block(plan, X, out)
+    np.subtract(B[plan.start : plan.stop], out, out=out)
 
 
 def jacobi_sweep(

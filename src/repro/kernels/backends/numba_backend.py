@@ -29,6 +29,8 @@ from ..plans import RowRangePlan
 __all__ = [
     "range_matvec",
     "range_residual",
+    "range_matvec_block",
+    "range_residual_block",
     "jacobi_sweep",
     "prolong_add",
     "residual_norm",
@@ -55,6 +57,34 @@ def _range_residual(indptr_w, indices, data, x, b, start, out):  # pragma: no co
         for jj in range(indptr_w[i], indptr_w[i + 1]):
             acc += data[jj] * x[indices[jj]]
         out[i] = b[start + i] - acc
+
+
+@njit(**_JIT)
+def _range_matvec_block(indptr_w, indices, data, X, out):  # pragma: no cover
+    k = X.shape[1]
+    for i in range(out.shape[0]):
+        for j in range(k):
+            out[i, j] = 0.0
+        for jj in range(indptr_w[i], indptr_w[i + 1]):
+            v = data[jj]
+            c = indices[jj]
+            for j in range(k):
+                out[i, j] += v * X[c, j]
+
+
+@njit(**_JIT)
+def _range_residual_block(indptr_w, indices, data, X, B, start, out):  # pragma: no cover
+    k = X.shape[1]
+    for i in range(out.shape[0]):
+        for j in range(k):
+            out[i, j] = 0.0
+        for jj in range(indptr_w[i], indptr_w[i + 1]):
+            v = data[jj]
+            c = indices[jj]
+            for j in range(k):
+                out[i, j] += v * X[c, j]
+        for j in range(k):
+            out[i, j] = B[start + i, j] - out[i, j]
 
 
 @njit(**_JIT)
@@ -104,6 +134,28 @@ def range_residual(
         return
     _range_residual(
         plan.indptr_window, plan.indices, plan.data, x, b, plan.start, out
+    )
+
+
+def range_matvec_block(plan: RowRangePlan, X: np.ndarray, out: np.ndarray) -> None:
+    if plan.nrows == 0:
+        return
+    _range_matvec_block(plan.indptr_window, plan.indices, plan.data, X, out)
+
+
+def range_residual_block(
+    plan: RowRangePlan, X: np.ndarray, B: np.ndarray, out: np.ndarray
+) -> None:
+    if plan.nrows == 0:
+        return
+    _range_residual_block(
+        plan.indptr_window,
+        plan.indices,
+        plan.data,
+        X,
+        np.ascontiguousarray(B, dtype=np.float64),
+        plan.start,
+        out,
     )
 
 

@@ -41,6 +41,7 @@ from ..linalg import as_csr
 __all__ = [
     "problem_fingerprint",
     "cached_setup_hierarchy",
+    "adopt_hierarchy",
     "cached_smoothed_interpolants",
     "clear_setup_cache",
     "setup_cache_info",
@@ -93,6 +94,23 @@ def cached_setup_hierarchy(
     while len(_CACHE) > _MAX_ENTRIES:
         _CACHE.popitem(last=False)
     return hier
+
+
+def adopt_hierarchy(hierarchy: Hierarchy, fingerprint: str) -> None:
+    """Seed the cache with an externally built hierarchy.
+
+    The procs backend ships a pickled hierarchy to worker processes;
+    adopting it under the parent-computed content hash makes the
+    worker's cache warm, so any later ``cached_setup_hierarchy`` call
+    for the same ``(matrix, options)`` — e.g. a solver rebuilt inside
+    the worker — reuses the shipped setup instead of redoing it.
+    Existing entries win (first adoption sticks).
+    """
+    key = (fingerprint, astuple(hierarchy.options), None)
+    if key not in _CACHE:
+        _CACHE[key] = hierarchy
+        while len(_CACHE) > _MAX_ENTRIES:
+            _CACHE.popitem(last=False)
 
 
 def cached_smoothed_interpolants(

@@ -130,10 +130,14 @@ class Event:
     tag: str = ""
     worker: Union[int, str] = -1
     seq: int = 0
+    worker_pid: int = -1
+    """OS process id of the recording worker (procs backend), −1 for
+    in-process workers — lets a cross-process trace merge attribute
+    events to real processes."""
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON-serializable record (the JSONL line schema)."""
-        return {
+        d = {
             "t": self.t,
             "kind": self.kind,
             "grid": self.grid,
@@ -143,6 +147,9 @@ class Event:
             "worker": self.worker,
             "seq": self.seq,
         }
+        if self.worker_pid != -1:
+            d["worker_pid"] = self.worker_pid
+        return d
 
     @classmethod
     def from_dict(cls, d: Dict[str, Any]) -> "Event":
@@ -155,6 +162,7 @@ class Event:
             tag=str(d.get("tag", "")),
             worker=d.get("worker", -1),
             seq=int(d.get("seq", 0)),
+            worker_pid=int(d.get("worker_pid", -1)),
         )
 
     @property

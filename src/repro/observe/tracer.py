@@ -176,6 +176,7 @@ class Tracer:
         self.metrics = Metrics()
         self._buffers: Dict[WorkerKey, TraceBuffer] = {}
         self._thread_worker: Dict[int, Tuple[WorkerKey, int]] = {}
+        self._worker_pids: Dict[WorkerKey, int] = {}
         self._t0 = _time.perf_counter()
 
     # -- clock ---------------------------------------------------------
@@ -202,6 +203,19 @@ class Tracer:
         key: WorkerKey = grid if worker is None else worker
         self._thread_worker[threading.get_ident()] = (key, grid)
         self.buffer(key)
+
+    def register_worker_pid(self, worker: WorkerKey, pid: int) -> None:
+        """Bind a worker key to an OS process id (the procs backend's
+        parent calls this at spawn) so merged events carry
+        ``worker_pid``.  A restarted worker re-registers under the same
+        key; the latest pid wins — the one the surviving ring records
+        were last written by."""
+        self._worker_pids[worker] = int(pid)
+        self.buffer(worker)
+
+    def worker_pids(self) -> Dict[WorkerKey, int]:
+        """Snapshot of the worker-key → OS pid registry."""
+        return dict(self._worker_pids)
 
     def buffers(self) -> Dict[WorkerKey, TraceBuffer]:
         """Live view of the per-worker buffers, for *sampling* readers
@@ -269,11 +283,12 @@ class Tracer:
         merged: List[Event] = []
         for key in sorted(self._buffers, key=str):
             buf = self._buffers[key]
+            pid = self._worker_pids.get(key, -1)
             for seq, (t, kind, grid, a, b, tag) in enumerate(buf.in_order()):
                 merged.append(
                     Event(
                         t=t, kind=kind, grid=grid, a=a, b=b, tag=tag,
-                        worker=key, seq=seq,
+                        worker=key, seq=seq, worker_pid=pid,
                     )
                 )
         merged.sort(key=lambda e: e.sort_key)

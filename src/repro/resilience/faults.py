@@ -250,6 +250,19 @@ class FaultInjector:
         """Stall duration due for ``grid`` at ``completed``, else None."""
         return self._stalls.get((grid, completed))
 
+    def forgive_completed_crashes(self, counts: np.ndarray) -> None:
+        """Mark crash faults whose trigger point already passed as fired.
+
+        A restarted worker *process* builds a fresh injector (the
+        one-shot ``_crash_fired`` state died with its predecessor); the
+        shared correction counts say which sentences were already
+        executed, and those must not be re-served — otherwise a
+        restarted process crash-loops until the restart budget runs out.
+        """
+        for grid, at in self._crash_at.items():
+            if int(counts[grid]) >= at:
+                self._crash_fired.add(grid)
+
     # -- stochastic faults --------------------------------------------
     def corrupt(
         self, e: np.ndarray, telemetry: Optional[FaultTelemetry] = None

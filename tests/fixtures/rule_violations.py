@@ -172,3 +172,22 @@ class FixtureStallDetector:
     def _check(self, snap):
         time.sleep(0.01)
         return None
+
+
+# RPR012: fork-unsafe module-level state for the procs executor —
+# spawn children re-import the module and get private copies.
+_worker_cache = {}
+_result_rows: list = []
+_module_lock = threading.Lock()
+_scratch = np.zeros(16)
+
+
+class SharedVectors:
+    # Allowed: the one place np.frombuffer views may be constructed.
+    def __init__(self, buf):
+        self.x = np.frombuffer(buf, dtype=np.float64)
+
+
+def rpr012_rogue_view(shm):
+    # RPR012: a raw shared-memory view outside the SharedVectors helper.
+    return np.frombuffer(shm.buf, dtype=np.float64)

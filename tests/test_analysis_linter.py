@@ -19,6 +19,7 @@ ALL_CODES = (
     "RPR009",
     "RPR010",
     "RPR011",
+    "RPR012",
 )
 
 
@@ -201,6 +202,40 @@ class TestFixtureViolations:
         msgs = [f.message for f in active if f.code == "RPR011"]
         assert len(msgs) == 1
         assert "sleep()" in msgs[0]
+
+    def test_rpr012_module_state_and_rogue_views(self):
+        active, _ = lint_fixture()
+        msgs = [f.message for f in active if f.code == "RPR012"]
+        # Module-level: the _locks listcomp, three bare Lock()s, the
+        # RPR012 block's dict/list/Lock/np.zeros; plus one rogue
+        # np.frombuffer outside SharedVectors.
+        assert len(msgs) == 9
+        assert sum("synchronization primitive" in m for m in msgs) == 4
+        assert any("np.zeros()" in m for m in msgs)
+        assert sum("np.frombuffer outside SharedVectors" in m for m in msgs) == 1
+
+    def test_rpr012_scoped_to_parallel_module(self):
+        source = "_cache = {}\n"
+        active, _ = lint_source(source, "core/threaded.py")
+        assert not any(f.code == "RPR012" for f in active)
+        active, _ = lint_source(source, "core/parallel.py")
+        assert any(f.code == "RPR012" for f in active)
+
+    def test_rpr012_allows_immutable_constants_and_local_state(self):
+        source = (
+            "import numpy as np\n"
+            "_COUNTERS = ('a', 'b')\n"
+            "_EXIT = 17\n"
+            "class SharedVectors:\n"
+            "    def __init__(self, buf):\n"
+            "        self.x = np.frombuffer(buf)\n"
+            "def worker():\n"
+            "    local = {}\n"
+            "    buf = np.zeros(4)\n"
+            "    return local, buf\n"
+        )
+        active, _ = lint_source(source, "core/parallel.py")
+        assert not any(f.code == "RPR012" for f in active)
 
     def test_findings_carry_hint_and_location(self):
         active, _ = lint_fixture()

@@ -1,0 +1,273 @@
+"""Tests for the true-parallel process executor (repro.core.parallel).
+
+Covers the backend's four contracts:
+
+- **transport fidelity** — a 1-worker deterministic run is bit-identical
+  to the sequential engine (same schedule, shared-memory round trip),
+  and :class:`SetupBundle` survives pickling without changing results.
+- **seqlock safety** — ``ProcAtomicWrite`` readers never observe a torn
+  stripe, retry while a writer is mid-publication, and fall back to the
+  stripe lock after ``max_retries``.
+- **fault tolerance** — a real process death (``os._exit``) is detected
+  by the supervisor, restarted through the guard budget with replica
+  re-sync, and lands in the merged telemetry; without a guard the run
+  degrades to ``stalled`` instead of hanging.
+- **clean shutdown** — the parent unlinks the one shared segment exactly
+  once; runs leak neither ``ResourceWarning`` nor ``/dev/shm`` entries.
+"""
+
+import glob
+import pickle
+import threading
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.core import run_async_engine, run_procs, SetupBundle, SharedVectors
+from repro.core.parallel import ProcAtomicWrite, _Layout, _assign_grids
+from repro.resilience import GuardPolicy, parse_fault_spec
+from repro.solvers import Multadd
+
+
+@pytest.fixture(scope="module")
+def multadd(hier_7pt_agg):
+    return Multadd(hier_7pt_agg, smoother="jacobi", weight=0.9)
+
+
+def _shm_segments():
+    return set(glob.glob("/dev/shm/psm_*"))
+
+
+class TestDeterministicTransport:
+    def test_bit_identical_to_engine(self, multadd, b_7pt):
+        """The headline fidelity check: one worker, engine schedule,
+        through SharedMemory — bitwise the engine's x and counts."""
+        resp = run_procs(
+            multadd, b_7pt, tmax=8, workers=1, deterministic=True, seed=3
+        )
+        rese = run_async_engine(multadd, b_7pt, tmax=8, seed=3)
+        assert not resp.errors
+        assert resp.deterministic and resp.workers == 1
+        assert np.array_equal(resp.x, rese.x)
+        assert np.array_equal(resp.counts, rese.counts)
+
+    def test_deterministic_needs_one_worker(self, multadd, b_7pt):
+        with pytest.raises(ValueError):
+            run_procs(multadd, b_7pt, tmax=4, workers=2, deterministic=True)
+
+    def test_deterministic_rejects_faults(self, multadd, b_7pt):
+        plan = parse_fault_spec("crash:0@2", seed=1)
+        with pytest.raises(ValueError):
+            run_procs(
+                multadd, b_7pt, tmax=4, workers=1, deterministic=True,
+                faults=plan,
+            )
+
+
+class TestProcs:
+    def test_converges_lock(self, multadd, b_7pt):
+        res = run_procs(multadd, b_7pt, tmax=10, workers=2, criterion="criterion1")
+        assert not res.errors
+        assert res.rel_residual < 1e-2
+        assert np.all(res.counts == 10)  # criterion 1 stops grids exactly
+        assert res.workers == 2
+        assert res.wall_time > 0
+
+    @pytest.mark.parametrize("write", ["atomic", "unsafe"])
+    def test_write_policies(self, multadd, b_7pt, write):
+        res = run_procs(
+            multadd, b_7pt, tmax=8, workers=2, write=write,
+            criterion="criterion1",
+        )
+        assert not res.errors
+        assert np.isfinite(res.rel_residual)
+        assert res.rel_residual < 1.0
+
+    @pytest.mark.parametrize("rescomp", ["rupdate", "global"])
+    def test_rescomp_modes(self, multadd, b_7pt, rescomp):
+        res = run_procs(
+            multadd, b_7pt, tmax=8, workers=2, rescomp=rescomp,
+            criterion="criterion1",
+        )
+        # global-res under extreme staleness may legitimately exceed 1.0
+        # (the Fig. 4/5 pathology) — require a sane, error-free run.
+        assert not res.errors
+        assert np.isfinite(res.rel_residual)
+        if rescomp != "global":
+            assert res.rel_residual < 1.0
+
+    def test_multi_rhs_block(self, multadd, A_7pt, b_7pt):
+        B = np.stack([b_7pt, -2.0 * b_7pt], axis=1)
+        res = run_procs(multadd, B, tmax=8, workers=2, criterion="criterion1")
+        assert not res.errors
+        assert res.x.shape == B.shape
+        assert res.rel_residual < 1.0
+
+    def test_invalid_rescomp(self, multadd, b_7pt):
+        with pytest.raises(ValueError):
+            run_procs(multadd, b_7pt, rescomp="telepathic")
+
+    def test_tracer_attributes_events_to_pids(self, multadd, b_7pt):
+        from repro.observe import Tracer
+
+        tracer = Tracer(clock="s")
+        res = run_procs(
+            multadd, b_7pt, tmax=6, workers=2, criterion="criterion1",
+            tracer=tracer,
+        )
+        assert not res.errors
+        events = tracer.events()
+        workers = {e.worker for e in events if e.kind == "correct_end"}
+        assert workers >= {"p0", "p1"}
+        pids = {e.worker_pid for e in events if str(e.worker).startswith("p")}
+        assert pids and all(pid > 0 for pid in pids)
+
+
+class TestCrashRestart:
+    def test_crash_restarts_and_recovers(self, multadd, b_7pt):
+        """A real process death mid-solve: the supervisor restarts the
+        worker, the resync forgives the already-fired crash, and the run
+        still completes its criterion-1 budget."""
+        plan = parse_fault_spec("crash:0@2", seed=1)
+        res = run_procs(
+            multadd, b_7pt, tmax=8, workers=2, criterion="criterion1",
+            faults=plan, guard=GuardPolicy(),
+        )
+        assert not res.errors
+        assert res.telemetry.injected_crashes == 1
+        assert res.telemetry.restarts == 1
+        assert not res.stalled
+        assert np.all(res.counts >= 8)
+        assert res.rel_residual < 1.0
+
+    def test_crash_without_guard_degrades(self, multadd, b_7pt):
+        plan = parse_fault_spec("crash:0@2", seed=1)
+        res = run_procs(
+            multadd, b_7pt, tmax=8, workers=2, criterion="criterion1",
+            faults=plan,
+        )
+        assert not res.errors
+        assert res.stalled  # dead worker, no restart budget: degrade, don't hang
+        assert res.telemetry.restarts == 0
+
+
+class TestSeqlock:
+    def _policy(self, n=256, stripe=64, max_retries=64):
+        nstripes = -(-n // stripe)
+        locks = [threading.Lock() for _ in range(nstripes)]
+        seq = np.zeros(nstripes, dtype=np.int64)
+        return ProcAtomicWrite(n, stripe, locks, seq, max_retries=max_retries)
+
+    def test_ops_leave_seq_even(self):
+        pol = self._policy()
+        v = np.zeros(256)
+        pol.add(v, np.ones(256))
+        pol.assign_slice(v, 10, 130, np.full(120, 7.0))
+        assert np.all(pol._seq % 2 == 0)
+        assert v[0] == 1.0 and v[10] == 7.0 and v[129] == 7.0 and v[130] == 1.0
+
+    def test_reader_retries_then_falls_back_on_stuck_odd_seq(self):
+        """A seq word stuck odd (writer died mid-publication) must not
+        spin forever: the reader burns max_retries then takes the lock."""
+        pol = self._policy(n=8, stripe=8, max_retries=3)
+        v = np.arange(8.0)
+        pol._seq[0] = 1
+        out = pol.read(v)
+        assert np.array_equal(out, v)
+        assert pol.read_retries == 3
+        assert pol.lock_fallbacks == 1
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_no_torn_stripes_under_concurrent_writes(self, seed):
+        """Property: whatever the interleaving, every stripe a reader
+        returns is uniform — a single writer's whole publication."""
+        n, stripe = 256, 64
+        pol = self._policy(n=n, stripe=stripe)
+        v = np.zeros(n)
+        stop = threading.Event()
+        rng = np.random.default_rng(seed)
+        vals = rng.integers(1, 10, size=64).astype(float)
+
+        def writer():
+            i = 0
+            while not stop.is_set():
+                pol.assign_slice(v, 0, n, np.full(n, vals[i % len(vals)]))
+                i += 1
+
+        t = threading.Thread(target=writer, daemon=True)
+        t.start()
+        try:
+            for _ in range(400):
+                out = pol.read(v)
+                for lo in range(0, n, stripe):
+                    chunk = out[lo : lo + stripe]
+                    assert np.all(chunk == chunk[0]), "torn stripe observed"
+        finally:
+            stop.set()
+            t.join(timeout=5.0)
+        assert pol.read_retries >= 0 and pol.lock_fallbacks >= 0
+
+
+class TestSharedVectors:
+    def _layout(self):
+        return _Layout(
+            n=32, k=1, ngrids=2, nworkers=1, nstripes=2, ring_capacity=8
+        )
+
+    def test_roundtrip_and_single_unlink(self):
+        layout = self._layout()
+        before = _shm_segments()
+        sv = SharedVectors.create(layout)
+        try:
+            sv.x[:, 0] = np.arange(32.0)
+            peer = SharedVectors.attach(sv.name, layout)
+            assert np.array_equal(peer.x[:, 0], np.arange(32.0))
+            peer.close()
+        finally:
+            sv.close()
+            sv.unlink()
+            sv.unlink()  # second unlink is a no-op, not an error
+        assert _shm_segments() == before
+
+    def test_shutdown_is_warning_free(self, multadd, b_7pt):
+        """Satellite check: a full procs run neither leaks a /dev/shm
+        segment nor trips a ResourceWarning at shutdown."""
+        import gc
+
+        before = _shm_segments()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", ResourceWarning)
+            res = run_procs(
+                multadd, b_7pt, tmax=6, workers=2, criterion="criterion1"
+            )
+            gc.collect()
+        assert not res.errors
+        assert _shm_segments() == before
+
+
+class TestSetupBundle:
+    def test_pickle_roundtrip_preserves_results(self, multadd, b_7pt):
+        """What workers actually do: rebuild the solver from a pickled
+        bundle and get bit-identical engine results."""
+        bundle = SetupBundle.from_solver(multadd)
+        clone = pickle.loads(pickle.dumps(bundle)).build_solver()
+        assert clone.ngrids == multadd.ngrids
+        ref = run_async_engine(multadd, b_7pt, tmax=5, seed=11)
+        got = run_async_engine(clone, b_7pt, tmax=5, seed=11)
+        assert np.array_equal(ref.x, got.x)
+        assert np.array_equal(ref.counts, got.counts)
+
+
+class TestGridAssignment:
+    def test_lpt_is_deterministic_and_complete(self):
+        work = np.array([8.0, 4.0, 2.0, 1.0, 1.0])
+        owned = _assign_grids(work, 2)
+        assert owned == _assign_grids(work, 2)
+        assert sorted(g for grids in owned for g in grids) == list(range(5))
+        loads = [sum(work[g] for g in grids) for grids in owned]
+        assert max(loads) == 8.0  # heaviest grid alone; rest packed opposite
+
+    def test_one_worker_owns_everything(self):
+        owned = _assign_grids(np.ones(4), 1)
+        assert owned == [[0, 1, 2, 3]]
