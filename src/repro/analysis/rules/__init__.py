@@ -129,6 +129,7 @@ class Rule(ABC):
 def _collect_rules() -> List[Rule]:
     # Imported here (not at module top) so the registry and the rule
     # modules cannot form an import cycle.
+    from .bounded_queues import BoundedQueueRule
     from .fork_safety import ForkSafetyRule
     from .hot_alloc import HotLoopAllocationRule
     from .hot_path import HotPathEmissionRule
@@ -155,6 +156,7 @@ def _collect_rules() -> List[Rule]:
         InterprocLockOrderRule,
         LiveCallbackBlockingRule,
         ForkSafetyRule,
+        BoundedQueueRule,
     ]
     rules = [cls() for cls in classes]
     codes = [r.code for r in rules]

@@ -729,6 +729,107 @@ def _cmd_top(args) -> int:
     return 0 if last_seq >= 0 else 2
 
 
+def _cmd_serve(args) -> int:
+    import threading as _threading
+
+    from .serve import ServeConfig, ServeHTTPServer, SolveServer
+
+    fault_plans = {}
+    for item in args.tenant_faults or []:
+        tenant, _, fspec = item.partition("=")
+        if not tenant or not fspec:
+            print(
+                f"bad --tenant-faults {item!r} (want TENANT=FAULTSPEC)",
+                file=sys.stderr,
+            )
+            return 2
+        fault_plans[tenant] = parse_fault_spec(fspec, seed=args.seed)
+    config = ServeConfig(
+        workers=args.workers,
+        max_depth=args.max_depth,
+        high_water=args.high_water,
+        batch_max=args.batch_max,
+        fault_plans=fault_plans,
+        seed=args.seed,
+    )
+    server = SolveServer(config).start()
+    for name in (s.strip() for s in args.sets.split(",")):
+        if not name:
+            continue
+        problem = build_problem(name, args.size, rhs_seed=0)
+        server.register_operator(
+            name, problem.A, solver_kwargs={"weight": problem.jacobi_weight}
+        )
+        print(f"registered operator {name!r}: n={problem.n}")
+    http = ServeHTTPServer(server, port=args.port).start()
+    print(
+        f"serving on http://127.0.0.1:{http.port} "
+        f"(operators: {', '.join(server.operator_names())}; "
+        f"workers={config.workers} depth={config.max_depth} "
+        f"batch<={config.batch_max})"
+    )
+    sys.stdout.flush()
+    try:
+        # Sleep until the duration elapses (or forever until Ctrl-C);
+        # all the work happens on the server's own threads.
+        _threading.Event().wait(timeout=args.duration)
+    except KeyboardInterrupt:
+        pass
+    http.stop()
+    server.stop()
+    flat = server.metrics.flatten()
+    counts = {
+        status: int(flat.get(f"serve.jobs.{status}", 0.0))
+        for status in ("ok", "degraded", "rejected", "failed")
+    }
+    print(
+        "served: "
+        + "  ".join(f"{k}={v}" for k, v in counts.items())
+        + f"  retries={int(flat.get('serve.retries', 0.0))}"
+        + f"  worker_crashes={int(flat.get('serve.worker_crashes', 0.0))}"
+    )
+    return 0
+
+
+def _cmd_submit(args) -> int:
+    import json as _json
+    from urllib import error, request
+
+    payload = {
+        "tenant": args.tenant,
+        "operator": args.operator,
+        "rhs_seed": args.rhs_seed,
+        "tol": args.tol,
+        "deadline_s": args.deadline,
+        "tmax": args.tmax,
+        "retries": args.retries,
+    }
+    req = request.Request(
+        args.url.rstrip("/") + "/submit",
+        data=_json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with request.urlopen(req, timeout=args.deadline + 60.0) as resp:
+            out = _json.loads(resp.read())
+    except error.URLError as exc:
+        print(f"submit failed: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(_json.dumps(out, indent=2, sort_keys=True))
+    else:
+        cause = f" cause={out['cause']}" if out.get("cause") else ""
+        relres = out.get("rel_residual")
+        relres_s = "n/a" if relres is None else f"{relres:.3e}"
+        print(
+            f"job {out['job_id']} [{out['tenant']}] {out['status']}{cause}: "
+            f"relres={relres_s} cycles={out['cycles']} "
+            f"attempts={out['attempts']} batched={out['batched']} "
+            f"latency={out['latency_s'] * 1e3:.1f}ms"
+        )
+    return 0 if out["status"] in ("ok", "degraded") else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="Asynchronous multigrid reproduction CLI"
@@ -932,6 +1033,55 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=_cmd_bench)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the multi-tenant solve server with an HTTP front-end "
+        "(repro.serve; see docs/SERVING.md)",
+    )
+    p.add_argument(
+        "--sets",
+        default="7pt",
+        metavar="LIST",
+        help="comma-separated test sets to register as operators",
+    )
+    p.add_argument("--size", type=int, default=12)
+    p.add_argument("--port", type=int, default=8077, help="0 = ephemeral")
+    p.add_argument("--workers", type=int, default=2)
+    p.add_argument("--max-depth", type=int, default=64)
+    p.add_argument("--high-water", type=int, default=None)
+    p.add_argument("--batch-max", type=int, default=8)
+    p.add_argument(
+        "--duration",
+        type=float,
+        default=None,
+        help="seconds to serve (default: until Ctrl-C)",
+    )
+    p.add_argument(
+        "--tenant-faults",
+        action="append",
+        metavar="TENANT=SPEC",
+        help="fault plan injected into one tenant's jobs, e.g. "
+        "crashy=crash:0@2 (repeatable; spec syntax as --faults)",
+    )
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser(
+        "submit", help="submit one solve job to a running `repro serve`"
+    )
+    p.add_argument("--url", default="http://127.0.0.1:8077")
+    p.add_argument("--tenant", default="cli")
+    p.add_argument("--operator", default="7pt")
+    p.add_argument("--rhs-seed", type=int, default=0)
+    p.add_argument("--tol", type=float, default=1e-8)
+    p.add_argument("--deadline", type=float, default=5.0)
+    p.add_argument("--tmax", type=int, default=60)
+    p.add_argument("--retries", type=int, default=1)
+    p.add_argument(
+        "--json", action="store_true", help="print the full result as JSON"
+    )
+    p.set_defaults(func=_cmd_submit)
     return parser
 
 

@@ -562,20 +562,63 @@ OPENMETRICS_CONTENT_TYPE = "application/openmetrics-text; version=1.0.0; charset
 class MetricsServer:
     """Tiny stdlib scrape endpoint: ``GET /metrics`` returns the
     OpenMetrics exposition of a *fresh* collection (so consecutive
-    scrapes observe progress, not the last cadence tick)."""
+    scrapes observe progress, not the last cadence tick).
+
+    A scrape is bounded two ways: the handler's socket ``timeout``
+    caps how long a wedged *client* can pin a handler thread, and the
+    collection itself runs on a helper thread joined with
+    ``collect_timeout_s`` — a stalled ``collect()`` provider (one that
+    blocks instead of raising; raising providers are already skipped
+    by :meth:`Metrics.collect`) yields a prompt **503** instead of a
+    scrape that hangs until the monitoring system gives up.  While the
+    stalled collection holds the collector's internal lock, follow-up
+    scrapes also 503 promptly (their helpers queue on the lock), and
+    the helpers are daemons, so a permanently wedged provider can
+    never prevent interpreter shutdown.
+    """
 
     def __init__(
-        self, collector: SnapshotCollector, port: int, host: str = "127.0.0.1"
+        self,
+        collector: SnapshotCollector,
+        port: int,
+        host: str = "127.0.0.1",
+        collect_timeout_s: float = 2.0,
     ) -> None:
         collector_ref = collector
+        if collect_timeout_s <= 0:
+            raise ValueError("collect_timeout_s must be positive")
+        timeout_s = float(collect_timeout_s)
 
         class _Handler(BaseHTTPRequestHandler):
+            timeout = timeout_s  # socket read timeout (slow/wedged client)
+
             def do_GET(self) -> None:  # noqa: N802 - http.server API
                 if self.path.split("?", 1)[0] != "/metrics":
                     self.send_response(404)
                     self.end_headers()
                     return
-                body = to_openmetrics(collector_ref.collect_once()).encode("utf-8")
+                box: List[bytes] = []
+
+                def _collect() -> None:
+                    box.append(
+                        to_openmetrics(collector_ref.collect_once()).encode("utf-8")
+                    )
+
+                helper = threading.Thread(
+                    target=_collect, name="repro-metrics-collect", daemon=True
+                )
+                helper.start()
+                helper.join(timeout=timeout_s)
+                if not box:
+                    body = b"metrics collection stalled\n"
+                    self.send_response(503)
+                    self.send_header("Content-Type", "text/plain; charset=utf-8")
+                    self.send_header("Retry-After", "1")
+                    self.send_header("Content-Length", str(len(body)))
+                    self.end_headers()
+                    self.wfile.write(body)
+                    return
+                body = box[0]
                 self.send_response(200)
                 self.send_header("Content-Type", OPENMETRICS_CONTENT_TYPE)
                 self.send_header("Content-Length", str(len(body)))

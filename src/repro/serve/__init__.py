@@ -1,0 +1,70 @@
+"""Solver-as-a-service: the fault-isolated, backpressured solve server.
+
+The paper's asynchronous iterations keep making progress when workers
+straggle or die; this package carries the same posture up one layer —
+a long-running, multi-tenant *service* over the repo's solvers that
+survives overload (bounded admission + tenant-fair shedding), tenant
+misbehavior (deadlines, retry budgets, per-job fault isolation) and
+poisoned operators (per-content-hash circuit breaker), while the
+content-hash setup cache keeps warm solves cheap and same-operator
+jobs coalesce into blocked multi-RHS batches.
+
+Entry points::
+
+    from repro.serve import ServeConfig, SolveServer, JobSpec
+
+    server = SolveServer(ServeConfig(workers=2)).start()
+    ref = server.register_operator("poisson", A)
+    ticket = server.submit(JobSpec(tenant="acme", operator=ref, b=b))
+    result = ticket.result(timeout=10.0)   # never hangs
+    server.stop()
+
+or over HTTP (``repro serve`` / ``repro submit`` on the CLI) via
+:class:`ServeHTTPServer`.  See docs/SERVING.md for the state machines
+and the metric-name vocabulary.
+"""
+
+from .admission import AdmissionQueue
+from .batch import ColumnContext, ColumnOutcome, solve_batch
+from .breaker import CLOSED, HALF_OPEN, OPEN, BreakerDecision, CircuitBreaker
+from .http import ServeHTTPServer, metrics_to_openmetrics
+from .jobs import (
+    DEGRADED,
+    FAILED,
+    Job,
+    JobResult,
+    JobSpec,
+    OK,
+    OperatorRef,
+    REJECTED,
+    TERMINAL_STATUSES,
+    Ticket,
+)
+from .server import LATENCY_BUCKETS_S, ServeConfig, SolveServer
+
+__all__ = [
+    "AdmissionQueue",
+    "ColumnContext",
+    "ColumnOutcome",
+    "solve_batch",
+    "CLOSED",
+    "OPEN",
+    "HALF_OPEN",
+    "BreakerDecision",
+    "CircuitBreaker",
+    "ServeHTTPServer",
+    "metrics_to_openmetrics",
+    "OK",
+    "DEGRADED",
+    "REJECTED",
+    "FAILED",
+    "TERMINAL_STATUSES",
+    "OperatorRef",
+    "JobSpec",
+    "Job",
+    "JobResult",
+    "Ticket",
+    "LATENCY_BUCKETS_S",
+    "ServeConfig",
+    "SolveServer",
+]

@@ -1,0 +1,581 @@
+"""The in-process multi-tenant solve server.
+
+:class:`SolveServer` multiplexes concurrent solve jobs from many
+tenants over shared cached AMG hierarchies.  The moving parts, in the
+order a job meets them:
+
+1. **submit** — the circuit breaker (:mod:`repro.serve.breaker`) may
+   fast-fail the operator (``rejected/circuit_open``); otherwise the
+   bounded admission queue (:mod:`repro.serve.admission`) accepts,
+   rejects (``overloaded``) or sheds by tenant-fair policy.
+2. **dispatch** — a single dispatcher thread pops the queue head and
+   *coalesces* up to ``batch_max - 1`` more queued jobs for the same
+   operator fingerprint into one group (the blocked multi-RHS batch).
+3. **execute** — a pool of worker threads runs each group through
+   :func:`repro.serve.batch.solve_batch` over a solver built once per
+   fingerprint on top of the thread-safe setup cache.  Guards screen
+   corruptions per column; a fault-plan crash kills only its own job
+   and retires the worker thread — the dispatcher respawns the pool
+   (self-healing) on its next tick.
+4. **finish** — a failed attempt with retry budget re-enters admission
+   after exponential backoff with seeded jitter (no queue jumping); a
+   job that runs out of deadline returns ``degraded`` with its best
+   iterate and honest residual; every terminal result resolves the
+   submitter's :class:`~repro.serve.jobs.Ticket` exactly once.
+
+Per-tenant counters, latency histograms and SLO attainment flow into a
+:class:`repro.observe.Metrics` registry (scrapeable via the observe
+layer's OpenMetrics endpoint); the setup cache and breaker register as
+providers, so one ``collect()`` covers the whole serving stack.
+
+Every blocking primitive here is bounded (linter rule RPR013): the
+dispatcher and workers poll with ``tick_s`` timeouts and shutdown joins
+carry timeouts, so ``stop()`` cannot hang even mid-overload.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass, field, replace
+from time import perf_counter
+from typing import Deque, Dict, List, Optional, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..amg import SetupOptions
+from ..kernels.setupcache import (
+    cached_setup_hierarchy,
+    register_setupcache_metrics,
+    setup_cache_info,
+)
+from ..observe import Metrics
+from ..resilience import FaultInjector, FaultPlan, FaultTelemetry, Guard, GuardPolicy
+from ..solvers import AdditiveMultigrid, Multadd
+from .admission import AdmissionQueue
+from .batch import ColumnContext, solve_batch
+from .breaker import CircuitBreaker
+from .jobs import (
+    DEGRADED,
+    FAILED,
+    Job,
+    JobResult,
+    JobSpec,
+    OK,
+    OperatorRef,
+    REJECTED,
+    Ticket,
+)
+
+__all__ = ["ServeConfig", "SolveServer", "LATENCY_BUCKETS_S"]
+
+#: latency histogram bounds, seconds (shared by latency + queue wait)
+LATENCY_BUCKETS_S: Tuple[float, ...] = (
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+)
+
+#: failure causes attributed to the operator → they feed the breaker
+_BREAKER_FAULT_CAUSES = frozenset({"divergence", "guard_trip"})
+
+
+@dataclass
+class ServeConfig:
+    """Tuning knobs of one :class:`SolveServer`."""
+
+    workers: int = 2
+    max_depth: int = 64
+    high_water: Optional[int] = None
+    #: max same-operator jobs coalesced into one blocked solve (1 = off)
+    batch_max: int = 8
+    smoother: str = "jacobi"
+    #: consecutive operator-attributed failures that trip the breaker
+    failure_threshold: int = 3
+    #: open → half-open probe delay, seconds
+    reset_timeout_s: float = 0.25
+    backoff_base_s: float = 0.01
+    backoff_jitter: float = 0.5
+    #: dispatcher/worker poll cadence, seconds
+    tick_s: float = 0.01
+    join_timeout_s: float = 5.0
+    guard_policy: Optional[GuardPolicy] = field(default_factory=GuardPolicy)
+    #: per-tenant fault plans (chaos/injection); each job derives its
+    #: own seeded injector from its tenant's plan
+    fault_plans: Dict[str, FaultPlan] = field(default_factory=dict)
+    #: seeds the backoff-jitter stream (RPR003: no unseeded RNG)
+    seed: int = 0
+    #: terminal results retained for inspection (bounded ring)
+    result_history: int = 4096
+
+    def __post_init__(self) -> None:
+        if self.workers < 1 or self.batch_max < 1:
+            raise ValueError("workers and batch_max must be >= 1")
+        if self.tick_s <= 0 or self.join_timeout_s <= 0:
+            raise ValueError("tick_s and join_timeout_s must be positive")
+        if self.backoff_base_s <= 0 or self.backoff_jitter < 0:
+            raise ValueError("backoff_base_s must be > 0, jitter >= 0")
+
+
+class SolveServer:
+    """In-process multi-tenant solve server (see module docstring)."""
+
+    def __init__(
+        self, config: Optional[ServeConfig] = None, metrics: Optional[Metrics] = None
+    ) -> None:
+        self.config = config or ServeConfig()
+        self.metrics = metrics if metrics is not None else Metrics()
+        self.admission = AdmissionQueue(
+            max_depth=self.config.max_depth, high_water=self.config.high_water
+        )
+        self.breaker = CircuitBreaker(
+            failure_threshold=self.config.failure_threshold,
+            reset_timeout_s=self.config.reset_timeout_s,
+        )
+        self._operators: Dict[str, OperatorRef] = {}
+        self._solvers: Dict[str, AdditiveMultigrid] = {}
+        self._injectors: Dict[int, FaultInjector] = {}
+        self._retries: List[Tuple[float, Job]] = []
+        self._work: Deque[List[Job]] = deque()
+        self._work_cond = threading.Condition()
+        self._state_lock = threading.Lock()  # operators/solvers/injectors/retries
+        self._metrics_lock = threading.Lock()  # serializes multi-writer bumps
+        self._results: Deque[JobResult] = deque(maxlen=self.config.result_history)
+        self._rng = np.random.default_rng(self.config.seed)
+        self._stop = threading.Event()
+        self._dispatcher: Optional[threading.Thread] = None
+        self._worker_threads: List[threading.Thread] = []
+        self._started = False
+        register_setupcache_metrics(self.metrics)
+        self.metrics.register_provider("breaker", self._breaker_provider)
+
+    # -- metrics helpers ----------------------------------------------
+    def _bump(self, name: str, by: float = 1.0) -> None:
+        with self._metrics_lock:
+            self.metrics.counter(name).inc(by)
+
+    def _observe(self, name: str, value: float) -> None:
+        with self._metrics_lock:
+            self.metrics.histogram(name, LATENCY_BUCKETS_S).observe(value)
+
+    def _set_gauge(self, name: str, value: float) -> None:
+        with self._metrics_lock:
+            self.metrics.gauge(name).set(value)
+
+    def _breaker_provider(self) -> Dict[str, float]:
+        snap = self.breaker.snapshot()
+        out = {"closed": 0.0, "open": 0.0, "half_open": 0.0, "trips": 0.0,
+               "fast_fails": 0.0}
+        for entry in snap.values():
+            out[str(entry["state"])] += 1.0
+            out["trips"] += float(entry["trips"])  # type: ignore[arg-type]
+            out["fast_fails"] += float(entry["fast_fails"])  # type: ignore[arg-type]
+        return out
+
+    # -- operator registry --------------------------------------------
+    def register_operator(
+        self,
+        name: str,
+        A: sp.spmatrix,
+        options: Optional[SetupOptions] = None,
+        solver_kwargs: Optional[Dict[str, object]] = None,
+    ) -> OperatorRef:
+        """Register (or replace) a named operator; returns its ref."""
+        ref = OperatorRef(A, options, solver_kwargs)
+        with self._state_lock:
+            self._operators[name] = ref
+        return ref
+
+    def operator(self, name: str) -> OperatorRef:
+        with self._state_lock:
+            try:
+                return self._operators[name]
+            except KeyError:
+                raise KeyError(f"unknown operator {name!r}") from None
+
+    def operator_names(self) -> List[str]:
+        with self._state_lock:
+            return sorted(self._operators)
+
+    # -- lifecycle -----------------------------------------------------
+    def start(self) -> "SolveServer":
+        if self._started:
+            return self
+        self._started = True
+        self._stop.clear()
+        self._dispatcher = threading.Thread(
+            target=self._dispatch_loop, name="serve-dispatcher", daemon=True
+        )
+        self._dispatcher.start()
+        for i in range(self.config.workers):
+            self._spawn_worker(i)
+        return self
+
+    def _spawn_worker(self, idx: int) -> None:
+        t = threading.Thread(
+            target=self._worker_loop, name=f"serve-worker-{idx}", daemon=True
+        )
+        self._worker_threads.append(t)
+        t.start()
+
+    def stop(self, timeout_s: Optional[float] = None) -> None:
+        """Graceful shutdown: reject everything queued, finish what's
+        in flight, join every thread (bounded)."""
+        timeout = self.config.join_timeout_s if timeout_s is None else timeout_s
+        self._stop.set()
+        now = perf_counter()
+        for job in self.admission.close():
+            self._complete(job, job.make_result(REJECTED, now, cause="shutdown"))
+        with self._state_lock:
+            pending = [job for _, job in self._retries]
+            self._retries.clear()
+        for job in pending:
+            self._complete(job, job.make_result(REJECTED, now, cause="shutdown"))
+        with self._work_cond:
+            self._work_cond.notify_all()
+        threads = list(self._worker_threads)
+        if self._dispatcher is not None:
+            threads.append(self._dispatcher)
+        for t in threads:
+            t.join(timeout=timeout)
+        # Anything still parked in the work queue after the joins (a
+        # worker died without draining it) resolves as rejected too —
+        # no ticket may hang.
+        leftovers: List[Job] = []
+        with self._work_cond:
+            while self._work:
+                leftovers.extend(self._work.popleft())
+        now = perf_counter()
+        for job in leftovers:
+            self._complete(job, job.make_result(REJECTED, now, cause="shutdown"))
+        self._set_gauge("serve.workers_alive", 0.0)
+
+    def alive_threads(self) -> List[threading.Thread]:
+        """Server threads still running (empty after a clean stop)."""
+        threads = list(self._worker_threads)
+        if self._dispatcher is not None:
+            threads.append(self._dispatcher)
+        return [t for t in threads if t.is_alive()]
+
+    # -- submission ----------------------------------------------------
+    def submit(self, spec: JobSpec) -> Ticket:
+        """Submit one job; always returns a ticket that resolves."""
+        now = perf_counter()
+        job = Job.create(spec, now)
+        self._bump("serve.submitted")
+        self._bump(f"serve.submitted.{spec.tenant}")
+        if self._stop.is_set() or not self._started:
+            self._complete(job, job.make_result(REJECTED, now, cause="shutdown"))
+            return job.ticket
+        self._admit(job, now)
+        return job.ticket
+
+    def submit_named(
+        self, tenant: str, operator: str, b: np.ndarray, **spec_kwargs: object
+    ) -> Ticket:
+        """Submit against a registered operator name (CLI/HTTP path)."""
+        spec = JobSpec(
+            tenant=tenant, operator=self.operator(operator), b=b,
+            **spec_kwargs,  # type: ignore[arg-type]
+        )
+        return self.submit(spec)
+
+    def _admit(self, job: Job, now: float) -> None:
+        decision = self.breaker.allow(job.spec.operator.fingerprint, now)
+        if not decision.allowed:
+            self._complete(job, job.make_result(REJECTED, now, cause="circuit_open"))
+            return
+        job.probe = job.probe or decision.probe
+        job.t_enqueue = now
+        admitted, shed = self.admission.offer(job)
+        for victim in shed:
+            self._complete(
+                victim, victim.make_result(REJECTED, perf_counter(), cause="shed")
+            )
+        if not admitted and not any(victim is job for victim in shed):
+            self._complete(job, job.make_result(REJECTED, now, cause="overloaded"))
+
+    # -- dispatcher ----------------------------------------------------
+    def _dispatch_loop(self) -> None:
+        while not self._stop.is_set():
+            now = perf_counter()
+            self._requeue_due_retries(now)
+            self._respawn_dead_workers()
+            self._set_gauge("serve.queue_depth", float(self.admission.depth()))
+            job = self.admission.take(timeout=self.config.tick_s)
+            if job is None:
+                continue
+            group = [job]
+            if self.config.batch_max > 1:
+                group.extend(
+                    self.admission.take_matching(
+                        job.spec.operator.fingerprint, self.config.batch_max - 1
+                    )
+                )
+            with self._work_cond:
+                self._work.append(group)
+                self._work_cond.notify()
+
+    def _requeue_due_retries(self, now: float) -> None:
+        with self._state_lock:
+            due = [job for t, job in self._retries if t <= now]
+            self._retries = [(t, job) for t, job in self._retries if t > now]
+            self._set_retry_gauge_locked()
+        for job in due:
+            # Re-enters admission like any fresh submission: breaker
+            # check, bounded queue, shed policy — no queue jumping.
+            self._admit(job, perf_counter())
+
+    def _set_retry_gauge_locked(self) -> None:
+        with self._metrics_lock:
+            self.metrics.gauge("serve.retry_backlog").set(float(len(self._retries)))
+
+    def _respawn_dead_workers(self) -> None:
+        alive = [t for t in self._worker_threads if t.is_alive()]
+        dead = len(self._worker_threads) - len(alive)
+        self._worker_threads = alive
+        for _ in range(dead):
+            if not self._stop.is_set():
+                self._bump("serve.workers_respawned")
+                self._spawn_worker(len(self._worker_threads))
+        self._set_gauge(
+            "serve.workers_alive",
+            float(sum(1 for t in self._worker_threads if t.is_alive())),
+        )
+
+    # -- workers -------------------------------------------------------
+    def _worker_loop(self) -> None:
+        while not self._stop.is_set():
+            group = self._next_group()
+            if group is None:
+                continue
+            try:
+                crashed = self._process_group(group)
+            except Exception as exc:  # defensive: no job may hang on a bug
+                now = perf_counter()
+                self._bump("serve.internal_errors")
+                for job in group:
+                    self._complete(
+                        job,
+                        job.make_result(
+                            FAILED, now, cause=f"internal:{type(exc).__name__}"
+                        ),
+                    )
+                continue
+            if crashed:
+                # A fault-plan crash killed this worker mid-job: the
+                # job already failed (isolated), the thread retires,
+                # and the dispatcher respawns the pool — self-healing.
+                self._bump("serve.worker_crashes")
+                return
+
+    def _next_group(self) -> Optional[List[Job]]:
+        with self._work_cond:
+            if not self._work:
+                self._work_cond.wait(timeout=self.config.tick_s)
+            if not self._work:
+                return None
+            return self._work.popleft()
+
+    def _process_group(self, group: List[Job]) -> bool:
+        now = perf_counter()
+        ref = group[0].spec.operator
+        live: List[Job] = []
+        for job in group:
+            job.attempts += 1
+            job.queue_wait_s += max(0.0, now - job.t_enqueue)
+            job.t_dispatch = now
+            if now >= job.t_deadline:
+                # Could not even start before the deadline: degrade
+                # honestly (x = 0 ⇒ relative residual exactly 1).
+                self._finish_attempt(
+                    job,
+                    job.make_result(
+                        DEGRADED,
+                        now,
+                        cause="deadline",
+                        x=np.zeros(ref.n),
+                        rel_residual=1.0,
+                        cycles=0,
+                        stalled=True,
+                        service_s=0.0,
+                    ),
+                )
+            else:
+                live.append(job)
+        if not live:
+            return False
+        solver = self._solver_for(ref)
+        contexts = [self._context_for(job, solver) for job in live]
+        columns = [job.spec.b for job in live]
+        outcomes = solve_batch(solver, columns, contexts)
+        done = perf_counter()
+        crashed_any = False
+        for job, out in zip(live, outcomes):
+            crashed_any = crashed_any or out.crashed
+            self._finish_attempt(
+                job,
+                job.make_result(
+                    out.status,
+                    done,
+                    cause=out.cause,
+                    x=out.x,
+                    rel_residual=out.rel_residual,
+                    cycles=out.cycles,
+                    batched=len(live),
+                    stalled=out.stalled,
+                    telemetry=out.telemetry,
+                    service_s=done - job.t_dispatch,
+                ),
+            )
+        return crashed_any
+
+    def _solver_for(self, ref: OperatorRef) -> AdditiveMultigrid:
+        with self._state_lock:
+            solver = self._solvers.get(ref.fingerprint)
+        if solver is not None:
+            return solver
+        # Cold path outside the lock: the hierarchy build is seconds at
+        # large sizes, and cached_setup_hierarchy already dedups
+        # concurrent same-key builds (first insertion wins).
+        hierarchy = cached_setup_hierarchy(ref.A, ref.options)
+        built = Multadd(
+            hierarchy,
+            smoother=self.config.smoother,
+            **ref.solver_kwargs,  # type: ignore[arg-type]
+        )
+        with self._state_lock:
+            return self._solvers.setdefault(ref.fingerprint, built)
+
+    def _context_for(self, job: Job, solver: AdditiveMultigrid) -> ColumnContext:
+        spec = job.spec
+        injector = self._injector_for(job, solver.ngrids)
+        guard = None
+        if self.config.guard_policy is not None:
+            guard = Guard(
+                self.config.guard_policy, ref_norm=float(np.linalg.norm(spec.b))
+            )
+        return ColumnContext(
+            tol=spec.tol,
+            tmax=spec.tmax,
+            divergence_threshold=spec.divergence_threshold,
+            t_deadline=job.t_deadline,
+            injector=injector,
+            guard=guard,
+            telemetry=FaultTelemetry(),
+        )
+
+    def _injector_for(self, job: Job, ngrids: int) -> Optional[FaultInjector]:
+        plan = self.config.fault_plans.get(job.spec.tenant)
+        if plan is None or not plan.active:
+            return None
+        with self._state_lock:
+            injector = self._injectors.get(job.job_id)
+            if injector is None:
+                # One injector per *job*, persisted across retries: a
+                # one-shot crash sentence is served once, so the retry
+                # runs clean instead of crash-looping.  The per-job
+                # seed offset keeps tenant streams independent.
+                per_job = replace(plan, seed=plan.seed + job.job_id)
+                injector = FaultInjector(per_job, ngrids)
+                self._injectors[job.job_id] = injector
+            return injector
+
+    # -- completion ----------------------------------------------------
+    def _finish_attempt(self, job: Job, result: JobResult) -> None:
+        if result.status == FAILED:
+            retry_due = self._retry_due(job)
+            if retry_due is not None:
+                self._bump("serve.retries")
+                self._bump(f"serve.retries.{job.spec.tenant}")
+                with self._state_lock:
+                    self._retries.append((retry_due, job))
+                    self._set_retry_gauge_locked()
+                return
+        self._complete(job, result)
+
+    def _retry_due(self, job: Job) -> Optional[float]:
+        """Backoff due-time for the next attempt, or None if the retry
+        budget or remaining deadline cannot cover it."""
+        if job.attempts > job.spec.retries:
+            return None
+        delay = self.config.backoff_base_s * (2.0 ** (job.attempts - 1))
+        with self._state_lock:
+            jitter = float(self._rng.random())
+        delay *= 1.0 + self.config.backoff_jitter * jitter
+        due = perf_counter() + delay
+        if due >= job.t_deadline:
+            return None
+        return due
+
+    def _complete(self, job: Job, result: JobResult) -> None:
+        self._record_breaker(job, result)
+        job.ticket.complete(result)
+        tenant = job.spec.tenant
+        self._bump(f"serve.jobs.{result.status}")
+        self._bump(f"serve.jobs.{result.status}.{tenant}")
+        if result.cause:
+            self._bump(f"serve.cause.{result.status}.{result.cause}")
+        if result.status == REJECTED:
+            self._observe(f"serve.reject_latency_s.{tenant}", result.latency_s)
+        else:
+            self._observe(f"serve.latency_s.{tenant}", result.latency_s)
+            self._observe(f"serve.queue_wait_s.{tenant}", result.queue_wait_s)
+            slo = "met" if result.deadline_met else "missed"
+            self._bump(f"serve.slo.{slo}.{tenant}")
+        if result.batched > 1:
+            self._bump("serve.batched_jobs")
+        with self._state_lock:
+            self._injectors.pop(job.job_id, None)
+            self._results.append(result)
+
+    def _record_breaker(self, job: Job, result: JobResult) -> None:
+        key = job.spec.operator.fingerprint
+        now = perf_counter()
+        if result.status == OK:
+            self.breaker.record_success(key, now)
+        elif result.status == DEGRADED:
+            if result.cycles > 0 and result.rel_residual < 1.0:
+                self.breaker.record_success(key, now)
+            else:
+                # Timed out with zero cycles, or burned its whole
+                # budget ending *worse* than the zero iterate (a
+                # guard-throttled divergent operator looks exactly
+                # like this): counts as a breaker failure.
+                self.breaker.record_failure(key, now)
+        elif result.status == FAILED and result.cause in _BREAKER_FAULT_CAUSES:
+            self.breaker.record_failure(key, now)
+        elif job.probe:
+            # The probe ended without telling us anything about the
+            # operator (shed/overloaded/crash/internal): release the
+            # half-open slot for the next candidate.
+            self.breaker.abandon_probe(key)
+
+    # -- introspection -------------------------------------------------
+    def recent_results(self) -> List[JobResult]:
+        with self._state_lock:
+            return list(self._results)
+
+    def stats(self) -> Dict[str, object]:
+        """One inspectable snapshot of the whole serving stack."""
+        return {
+            "queue_depth": self.admission.depth(),
+            "tenant_depths": self.admission.tenant_depths(),
+            "breaker": self.breaker.snapshot(),
+            "setup_cache": setup_cache_info(),
+            "metrics": self.metrics.flatten(),
+            "results": len(self._results),
+            "workers_alive": len(
+                [t for t in self._worker_threads if t.is_alive()]
+            ),
+        }

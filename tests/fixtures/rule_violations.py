@@ -191,3 +191,29 @@ class SharedVectors:
 def rpr012_rogue_view(shm):
     # RPR012: a raw shared-memory view outside the SharedVectors helper.
     return np.frombuffer(shm.buf, dtype=np.float64)
+
+
+import queue  # noqa: E402
+from multiprocessing import JoinableQueue  # noqa: E402
+
+
+def rpr013_unbounded_queues(n):
+    # RPR013: unbounded queue construction in the serve layer.
+    inbox = queue.Queue()
+    lifo = queue.LifoQueue(0)
+    prio = queue.PriorityQueue(maxsize=0)
+    simple = queue.SimpleQueue()
+    joinable = JoinableQueue()
+    bounded = queue.Queue(maxsize=n)  # allowed: caller-bounded depth
+    return inbox, lifo, prio, simple, joinable, bounded
+
+
+def rpr013_unbounded_blocking(q, t, lock, cond):
+    # RPR013: blocking primitives with no timeout bound.
+    item = q.get()
+    t.join()
+    lock.acquire()
+    cond.wait()
+    ok = q.get(timeout=1.0)  # allowed: bounded wait
+    lock.acquire(blocking=False)  # allowed: cannot wait at all
+    return item, ok

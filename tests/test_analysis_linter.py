@@ -20,6 +20,7 @@ ALL_CODES = (
     "RPR010",
     "RPR011",
     "RPR012",
+    "RPR013",
 )
 
 
@@ -236,6 +237,42 @@ class TestFixtureViolations:
         )
         active, _ = lint_source(source, "core/parallel.py")
         assert not any(f.code == "RPR012" for f in active)
+
+    def test_rpr013_queues_and_blocking_calls(self):
+        active, _ = lint_fixture()
+        msgs = [f.message for f in active if f.code == "RPR013"]
+        # 5 unbounded constructions + 4 unbounded blocking calls in
+        # the RPR013 blocks, plus the bare .acquire() seeded for
+        # RPR011 (double-flagged here under ignore_scope).
+        assert len(msgs) == 10
+        assert sum("SimpleQueue() cannot be bounded" in m for m in msgs) == 1
+        assert sum("unbounded Queue()" in m for m in msgs) == 1
+        assert sum("unbounded LifoQueue()" in m for m in msgs) == 1
+        assert sum("unbounded PriorityQueue()" in m for m in msgs) == 1
+        assert sum("unbounded JoinableQueue()" in m for m in msgs) == 1
+        assert any(".get() with no timeout" in m for m in msgs)
+        assert any(".join() with no timeout" in m for m in msgs)
+        assert any(".wait() with no timeout" in m for m in msgs)
+
+    def test_rpr013_allows_bounded_and_nonblocking(self):
+        source = (
+            "import queue\n"
+            "def f(q, t, lock, d, parts):\n"
+            "    good = queue.Queue(maxsize=64)\n"
+            "    item = q.get(timeout=0.5)\n"
+            "    t.join(2.0)\n"
+            "    lock.acquire(blocking=False)\n"
+            "    return good, item, d.get('key'), ', '.join(parts)\n"
+        )
+        active, _ = lint_source(source, "repro/serve/admission.py")
+        assert not any(f.code == "RPR013" for f in active)
+
+    def test_rpr013_scoped_to_serve(self):
+        source = "import queue\nq = queue.Queue()\n"
+        active, _ = lint_source(source, "core/engine.py")
+        assert not any(f.code == "RPR013" for f in active)
+        active, _ = lint_source(source, "repro/serve/server.py")
+        assert any(f.code == "RPR013" for f in active)
 
     def test_findings_carry_hint_and_location(self):
         active, _ = lint_fixture()

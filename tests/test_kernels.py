@@ -352,3 +352,91 @@ class TestSetupCache:
         assert a is b
         c = cached_smoothed_interpolants(h, kind="jacobi", weight=0.5)
         assert c is not a
+
+
+class TestSetupCacheConcurrency:
+    """The serve pool hammers the cache from worker threads; these are
+    the concurrent-access regression tests for the locked rewrite."""
+
+    def test_concurrent_same_key_converges_on_one_hierarchy(self):
+        import threading
+
+        clear_setup_cache()
+        nthreads = 8
+        problems = [build_problem("5pt", 10) for _ in range(nthreads)]
+        barrier = threading.Barrier(nthreads)
+        got = [None] * nthreads
+        errors = []
+
+        def worker(i):
+            try:
+                barrier.wait(timeout=10.0)
+                got[i] = cached_setup_hierarchy(problems[i].A, SetupOptions())
+            except Exception as exc:  # pragma: no cover - failure detail
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(nthreads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30.0)
+        assert not errors
+        assert all(not t.is_alive() for t in threads)
+        # Every thread got a usable hierarchy, and the cache holds
+        # exactly one entry for the key — first insertion won, losers
+        # converged on later lookups.
+        assert all(h is not None for h in got)
+        info = setup_cache_info()
+        assert info["entries"] == 1
+        assert info["hits"] + info["misses"] == nthreads
+        assert info["race_losses"] <= max(0, info["misses"] - 1)
+        # Whoever raced, a follow-up call is a pure hit on one object.
+        again = cached_setup_hierarchy(problems[0].A, SetupOptions())
+        assert any(again is h for h in got)
+        clear_setup_cache()
+
+    def test_concurrent_mixed_keys_no_cross_talk(self):
+        import threading
+
+        clear_setup_cache()
+        pa = build_problem("5pt", 8)
+        pb = build_problem("5pt", 12)
+        barrier = threading.Barrier(8)
+        got = {}
+
+        def worker(i):
+            p = pa if i % 2 == 0 else pb
+            barrier.wait(timeout=10.0)
+            got[i] = cached_setup_hierarchy(p.A, SetupOptions())
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30.0)
+        evens = {id(got[i]) for i in range(0, 8, 2)}
+        odds = {id(got[i]) for i in range(1, 8, 2)}
+        assert len(evens) == 1 and len(odds) == 1
+        assert evens != odds
+        assert got[0].levels[0].A.shape == (pa.n, pa.n)
+        assert got[1].levels[0].A.shape == (pb.n, pb.n)
+        assert setup_cache_info()["entries"] == 2
+        clear_setup_cache()
+
+    def test_metrics_provider_exports_counters(self):
+        from repro.kernels.setupcache import register_setupcache_metrics
+        from repro.observe import Metrics
+
+        clear_setup_cache()
+        p = build_problem("5pt", 8)
+        cached_setup_hierarchy(p.A, SetupOptions())
+        cached_setup_hierarchy(p.A, SetupOptions())
+        m = Metrics()
+        register_setupcache_metrics(m)
+        flat = m.flatten()
+        assert flat["setupcache.entries"] == 1.0
+        assert flat["setupcache.hits"] == 1.0
+        assert flat["setupcache.misses"] == 1.0
+        clear_setup_cache()

@@ -374,6 +374,42 @@ class TestOpenMetrics:
         finally:
             server.stop()
 
+    def test_stalled_collect_returns_503_promptly(self):
+        tracer, coll = make_collector()
+        release = threading.Event()
+        real_collect = coll.collect_once
+
+        def wedged_collect():
+            release.wait(timeout=30.0)
+            return real_collect()
+
+        coll.collect_once = wedged_collect
+        server = MetricsServer(coll, port=0, collect_timeout_s=0.2)
+        server.start()
+        try:
+            t0 = time.perf_counter()
+            with pytest.raises(urllib.error.HTTPError) as err:
+                _scrape(server.port, timeout=10.0)
+            elapsed = time.perf_counter() - t0
+            # A wedged provider must 503 promptly — never a scrape
+            # that hangs until the monitoring system gives up.
+            assert err.value.code == 503
+            assert b"stalled" in err.value.read()
+            assert err.value.headers["Retry-After"] == "1"
+            assert elapsed < 5.0
+            # Unwedge: the very next scrape serves a real exposition.
+            release.set()
+            coll.collect_once = real_collect
+            body = _scrape(server.port)
+            assert ("repro_snapshot_seq", ()) in parse_openmetrics(body)
+        finally:
+            server.stop()
+
+    def test_collect_timeout_validated(self):
+        _, coll = make_collector()
+        with pytest.raises(ValueError):
+            MetricsServer(coll, port=0, collect_timeout_s=0.0)
+
 
 class TestSnapshotStream:
     def test_jsonl_round_trip(self, tmp_path):

@@ -1,0 +1,300 @@
+"""End-to-end tests for the in-process solve server (repro.serve).
+
+Threaded paths keep their assertions timing-robust (statuses, counters,
+ticket resolution); anything that needs determinism (batched bitwise
+parity) drives the worker path synchronously via ``_process_group``.
+"""
+
+from time import perf_counter
+
+import numpy as np
+import pytest
+
+from repro.problems import build_problem
+from repro.resilience import parse_fault_spec
+from repro.serve import (
+    Job,
+    JobSpec,
+    OPEN,
+    ServeConfig,
+    SolveServer,
+    TERMINAL_STATUSES,
+)
+
+
+def make_server(**kw):
+    kw.setdefault("workers", 2)
+    kw.setdefault("tick_s", 0.005)
+    return SolveServer(ServeConfig(**kw))
+
+
+def rhs(n, seed):
+    return np.random.default_rng(seed).standard_normal(n)
+
+
+class TestLifecycle:
+    def test_submit_before_start_is_rejected(self):
+        server = make_server()
+        p = build_problem("5pt", 8)
+        ref = server.register_operator("op", p.A)
+        ticket = server.submit(JobSpec(tenant="t", operator=ref, b=rhs(ref.n, 0)))
+        res = ticket.result(timeout=1.0)
+        assert res.status == "rejected" and res.cause == "shutdown"
+
+    def test_stop_is_clean_and_idempotent(self):
+        server = make_server().start()
+        server.stop()
+        server.stop()
+        assert server.alive_threads() == []
+
+    def test_unknown_operator_raises(self):
+        server = make_server()
+        with pytest.raises(KeyError):
+            server.operator("nope")
+
+
+class TestEndToEnd:
+    def test_multi_tenant_jobs_converge(self):
+        server = make_server().start()
+        try:
+            p = build_problem("5pt", 10)
+            server.register_operator(
+                "poisson", p.A, solver_kwargs={"weight": p.jacobi_weight}
+            )
+            tickets = [
+                server.submit_named(f"tenant-{i % 3}", "poisson", rhs(p.n, i))
+                for i in range(9)
+            ]
+            results = [t.result(timeout=30.0) for t in tickets]
+            assert all(r is not None for r in results)
+            assert [r.status for r in results] == ["ok"] * 9
+            for r in results:
+                assert r.rel_residual <= 1e-8
+                assert r.deadline_met
+                assert r.attempts == 1
+        finally:
+            server.stop()
+        flat = server.metrics.flatten()
+        assert flat["serve.jobs.ok"] == 9
+        assert flat["serve.jobs.ok.tenant-0"] == 3
+        assert flat["serve.slo.met.tenant-1"] == 3
+        assert server.alive_threads() == []
+
+    def test_results_ring_and_stats(self):
+        server = make_server(result_history=4).start()
+        try:
+            p = build_problem("5pt", 8)
+            server.register_operator("op", p.A)
+            for i in range(6):
+                server.submit_named("t", "op", rhs(p.n, i)).result(timeout=30.0)
+        finally:
+            server.stop()
+        assert len(server.recent_results()) == 4  # bounded ring
+        stats = server.stats()
+        assert stats["queue_depth"] == 0
+        assert stats["workers_alive"] == 0
+        assert stats["setup_cache"]["entries"] >= 1
+        assert stats["metrics"]["serve.jobs.ok"] == 6
+
+
+class TestBatchedParity:
+    def test_grouped_jobs_bitwise_equal_solo(self):
+        # Drive the worker path synchronously: one group of 4 versus
+        # four singleton groups must produce bitwise-identical
+        # iterates (the coalescing-is-free claim, server-level).
+        p = build_problem("5pt", 10)
+        columns = [rhs(p.n, s) for s in range(4)]
+
+        def run(grouping):
+            server = make_server()
+            ref = server.register_operator(
+                "op", p.A, solver_kwargs={"weight": p.jacobi_weight}
+            )
+            jobs = []
+            for b in columns:
+                jobs.append(
+                    Job.create(
+                        JobSpec(tenant="t", operator=ref, b=b, deadline_s=60.0),
+                        now=perf_counter(),
+                    )
+                )
+            if grouping == "batched":
+                server._process_group(jobs)
+            else:
+                for job in jobs:
+                    server._process_group([job])
+            return [job.ticket.result(timeout=1.0) for job in jobs]
+
+        batched = run("batched")
+        solo = run("solo")
+        assert [r.batched for r in batched] == [4, 4, 4, 4]
+        assert [r.batched for r in solo] == [1, 1, 1, 1]
+        for got, ref_r in zip(batched, solo):
+            assert got.status == ref_r.status == "ok"
+            assert np.array_equal(got.x, ref_r.x)
+            assert got.rel_residual == ref_r.rel_residual
+            assert got.cycles == ref_r.cycles
+
+
+class TestFaultIsolation:
+    def test_crash_fails_only_that_job_and_pool_self_heals(self):
+        server = make_server(
+            fault_plans={"crashy": parse_fault_spec("crash:0@1", seed=3)}
+        ).start()
+        try:
+            p = build_problem("5pt", 10)
+            server.register_operator(
+                "op", p.A, solver_kwargs={"weight": p.jacobi_weight}
+            )
+            crashy = server.submit_named(
+                "crashy", "op", rhs(p.n, 0), deadline_s=30.0, retries=1
+            )
+            healthy = server.submit_named("calm", "op", rhs(p.n, 1), deadline_s=30.0)
+            res_c = crashy.result(timeout=30.0)
+            res_h = healthy.result(timeout=30.0)
+            # The injected crash killed attempt 1 only; the retry ran
+            # on a fresh injector-free sentence and converged.
+            assert res_c.status == "ok" and res_c.attempts == 2
+            assert res_h.status == "ok" and res_h.attempts == 1
+            flat = server.metrics.flatten()
+            assert flat["serve.worker_crashes"] >= 1
+            assert flat["serve.workers_respawned"] >= 1
+            assert flat["serve.retries.crashy"] == 1
+            # The pool healed: submit again and it still serves.
+            again = server.submit_named("calm", "op", rhs(p.n, 2), deadline_s=30.0)
+            assert again.result(timeout=30.0).status == "ok"
+        finally:
+            server.stop()
+        assert server.alive_threads() == []
+
+    def test_crash_without_retry_budget_fails_with_cause(self):
+        server = make_server(
+            fault_plans={"crashy": parse_fault_spec("crash:0@1", seed=3)}
+        ).start()
+        try:
+            p = build_problem("5pt", 10)
+            server.register_operator("op", p.A)
+            res = server.submit_named(
+                "crashy", "op", rhs(p.n, 0), retries=0, deadline_s=30.0
+            ).result(timeout=30.0)
+            assert res.status == "failed" and res.cause == "worker_crash"
+        finally:
+            server.stop()
+
+
+class TestDegradation:
+    def test_deadline_buster_returns_degraded_with_honest_residual(self):
+        server = make_server().start()
+        try:
+            p = build_problem("5pt", 12)
+            server.register_operator("op", p.A)
+            res = server.submit_named(
+                "hasty", "op", rhs(p.n, 0), deadline_s=1e-4
+            ).result(timeout=30.0)
+            assert res.status == "degraded" and res.cause == "deadline"
+            assert res.stalled and not res.deadline_met
+            assert res.x is not None
+            # The residual reported is the real residual of the
+            # returned iterate (x = 0 ⇒ rel exactly 1, or a partial
+            # iterate with its recomputed norm).
+            assert 0.0 < res.rel_residual <= 1.0
+            flat = server.metrics.flatten()
+            assert flat["serve.slo.missed.hasty"] == 1
+        finally:
+            server.stop()
+
+    def test_cycle_budget_exhaustion_degrades(self):
+        server = make_server().start()
+        try:
+            p = build_problem("5pt", 10)
+            server.register_operator("op", p.A)
+            res = server.submit_named(
+                "t", "op", rhs(p.n, 0), tol=1e-14, tmax=2, deadline_s=30.0
+            ).result(timeout=30.0)
+            assert res.status == "degraded" and res.cause == "cycle_budget"
+            assert res.stalled and res.cycles == 2
+        finally:
+            server.stop()
+
+
+class TestBreakerIntegration:
+    def test_poisoned_operator_trips_then_recloses_on_healthy(self):
+        server = make_server(
+            workers=1, failure_threshold=2, reset_timeout_s=0.2
+        ).start()
+        try:
+            p = build_problem("5pt", 10)
+            # weight 1.95 diverges on the 5pt operator; the default
+            # guard throttles it into a no-progress degraded loop,
+            # which the breaker counts as failure.
+            server.register_operator(
+                "poison", p.A, solver_kwargs={"weight": 1.95}
+            )
+            fp = server.operator("poison").fingerprint
+            statuses = []
+            for i in range(2):
+                res = server.submit_named(
+                    "t", "poison", rhs(p.n, i), tmax=5, deadline_s=30.0
+                ).result(timeout=30.0)
+                statuses.append((res.status, res.cause))
+            assert server.breaker.state(fp) == OPEN
+            fast = server.submit_named(
+                "t", "poison", rhs(p.n, 9), deadline_s=30.0
+            ).result(timeout=30.0)
+            assert fast.status == "rejected" and fast.cause == "circuit_open"
+            # A healthy operator under the same matrix keeps serving:
+            # the fingerprint covers the solver config, so the breaker
+            # blackout is scoped to the poisoned config.
+            server.register_operator(
+                "healthy", p.A, solver_kwargs={"weight": p.jacobi_weight}
+            )
+            ok = server.submit_named(
+                "t", "healthy", rhs(p.n, 10), deadline_s=30.0
+            ).result(timeout=30.0)
+            assert ok.status == "ok"
+            pairs = [
+                (frm, to) for _, key, frm, to in server.breaker.transitions
+                if key == fp
+            ]
+            assert ("closed", "open") in pairs
+        finally:
+            server.stop()
+
+
+class TestOverloadAndErrors:
+    def test_burst_past_max_depth_is_rejected_not_buffered(self):
+        server = make_server(workers=1, max_depth=2, batch_max=1).start()
+        try:
+            p = build_problem("5pt", 12)
+            server.register_operator("op", p.A)
+            tickets = [
+                server.submit_named("burst", "op", rhs(p.n, i), deadline_s=30.0)
+                for i in range(40)
+            ]
+            results = [t.result(timeout=60.0) for t in tickets]
+            assert all(r is not None for r in results)
+            assert all(r.status in TERMINAL_STATUSES for r in results)
+            rejected = [r for r in results if r.status == "rejected"]
+            assert rejected, "a 40-job burst against depth 2 must shed load"
+            assert all(
+                r.cause in ("overloaded", "shed") for r in rejected
+            )
+        finally:
+            server.stop()
+        assert server.alive_threads() == []
+
+    def test_solver_construction_error_fails_job_with_cause(self):
+        server = make_server().start()
+        try:
+            p = build_problem("5pt", 8)
+            # weight 2.5 is rejected by the smoother constructor: the
+            # defensive worker path must fail the job, not hang it.
+            server.register_operator("broken", p.A, solver_kwargs={"weight": 2.5})
+            res = server.submit_named(
+                "t", "broken", rhs(p.n, 0), retries=0, deadline_s=10.0
+            ).result(timeout=30.0)
+            assert res.status == "failed"
+            assert res.cause == "internal:ValueError"
+            assert server.metrics.flatten()["serve.internal_errors"] >= 1
+        finally:
+            server.stop()
